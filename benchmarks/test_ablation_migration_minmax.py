@@ -1,0 +1,78 @@
+"""Ablation: minmax vs sum-minimizing state-migration mapping (Section 5).
+
+WASP minimizes the *slowest* transfer (minmax) because the stage resumes
+only after every moved task's state arrives.  A plausible alternative is to
+minimize the *total* transferred byte-seconds (sum).  This ablation builds
+random migration instances and compares the two objectives: the sum-optimal
+mapping can leave one partition on a slow link, inflating the transition
+the paper's metric cares about.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.core.migration import MigrationStrategy, plan_migration
+
+
+def random_instance(rng, n=4):
+    sources = {f"s{i}": float(rng.uniform(20, 200)) for i in range(n)}
+    destinations = [f"d{i}" for i in range(n)]
+    table = {
+        (s, d): float(rng.uniform(1, 100))
+        for s in sources
+        for d in destinations
+    }
+    return sources, destinations, table
+
+
+def sum_optimal_transition(sources, destinations, table):
+    """Transition time of the mapping minimizing total transfer seconds."""
+    names = sorted(sources)
+    best_sum, best_perm = float("inf"), None
+    for perm in itertools.permutations(range(len(destinations))):
+        total = sum(
+            sources[s] * 8.0 / table[(s, destinations[j])]
+            for s, j in zip(names, perm)
+        )
+        if total < best_sum:
+            best_sum, best_perm = total, perm
+    return max(
+        sources[s] * 8.0 / table[(s, destinations[j])]
+        for s, j in zip(names, best_perm)
+    )
+
+
+def sweep(instances=40):
+    rng = np.random.default_rng(7)
+    minmax_wins = 0
+    ratios = []
+    for _ in range(instances):
+        sources, destinations, table = random_instance(rng)
+        wasp_plan = plan_migration(
+            "agg", sources, destinations,
+            lambda s, d: table[(s, d)],
+            strategy=MigrationStrategy.WASP,
+        )
+        sum_transition = sum_optimal_transition(sources, destinations, table)
+        ratios.append(sum_transition / wasp_plan.transition_s)
+        if wasp_plan.transition_s < sum_transition - 1e-9:
+            minmax_wins += 1
+    return minmax_wins, instances, ratios
+
+
+def test_ablation_migration_minmax(bench_once):
+    minmax_wins, instances, ratios = bench_once(sweep)
+    print()
+    print("Ablation: minmax vs sum-minimizing migration mapping")
+    print(
+        f"instances={instances}  minmax strictly faster on {minmax_wins}  "
+        f"sum-mapping transition inflation: mean "
+        f"{np.mean(ratios):.2f}x, worst {np.max(ratios):.2f}x"
+    )
+
+    # Minmax is never slower than the sum-optimal mapping on the metric
+    # that matters (transition time), and strictly faster on a
+    # non-negligible share of instances (often the two objectives agree).
+    assert min(ratios) >= 1.0 - 1e-9
+    assert minmax_wins >= instances // 10

@@ -1,0 +1,38 @@
+"""Figure 7: inter-site bandwidth and latency distributions.
+
+Paper: the testbed's DC mesh is derived from EC2 measurements (bandwidth up
+to ~250 Mbps) while edge connectivity follows Akamai's public-Internet
+report (average < 10 Mbps); edge latencies are lower than inter-continental
+DC latencies because the edge class only counts intra-region connections.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_report
+from repro.network.traces import network_distributions, paper_testbed
+
+
+def test_fig07_network_distribution(bench_once):
+    topology = bench_once(
+        lambda: paper_testbed(np.random.default_rng(2020))
+    )
+    print()
+    print(fig7_report(topology))
+
+    dists = network_distributions(topology)
+    edge_bw = dists["edge_bandwidth_mbps"]
+    dc_bw = dists["dc_bandwidth_mbps"]
+    edge_lat = dists["edge_latency_ms"]
+    dc_lat = dists["dc_latency_ms"]
+
+    # Shape: edge bandwidth is public-Internet class, DC reaches ~250 Mbps.
+    assert np.median(edge_bw) < 15.0
+    assert dc_bw.max() > 150.0
+    assert dc_bw.min() >= 25.0
+    # Edge-class latencies only count intra-region connections (the figure
+    # caption's restriction); the DC mesh spans inter-continental paths.
+    assert edge_lat.max() <= 150.0
+    assert dc_lat.max() > 100.0
+    # Both classes are heterogeneous (the paper's Section 2.2 premise).
+    assert edge_bw.max() / edge_bw.min() > 2.0
+    assert dc_bw.max() / dc_bw.min() > 2.0

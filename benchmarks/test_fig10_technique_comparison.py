@@ -1,0 +1,56 @@
+"""Figure 10: Re-assign vs Scale vs Re-plan, handled individually.
+
+Paper (Section 8.5): workload x{1,2,2,1,1} and bandwidth x{1,1,0.5,0.5,1}
+in 300 s intervals on the stateful Top-K query.
+
+Expected shape:
+* every adaptive technique beats No Adapt;
+* Scale achieves the lowest overall delay, paying with extra slots
+  (~20% in the paper) that it releases again via scale-down;
+* Re-assign gets stuck when the bandwidth halves (constrained by the
+  initial parallelism), so its tail is worse than Scale's;
+* Re-plan is competitive for the bulk of the distribution but keeps a
+  heavy tail (the paper's 93rd-percentile crossover).
+"""
+
+from conftest import scenario_runs
+from repro.core.actions import ActionKind
+from repro.experiments.figures import fig10_report
+
+
+def test_fig10_technique_comparison(bench_once):
+    runs = bench_once(lambda: scenario_runs("fig10"))
+    print()
+    print(fig10_report(runs))
+
+    mean = {name: run.recorder.mean_delay() for name, run in runs.items()}
+    p50 = {
+        name: run.recorder.delay_percentile(50) for name, run in runs.items()
+    }
+
+    # Every adaptive technique improves on No Adapt overall.
+    for name in ("Re-assign", "Scale", "Re-plan"):
+        assert mean[name] < mean["No Adapt"]
+
+    # Scale wins overall (paper: "Scale resulted in the lowest overall
+    # delay").
+    assert mean["Scale"] < mean["Re-assign"]
+    assert mean["Scale"] < mean["Re-plan"]
+    assert p50["Scale"] <= p50["Re-assign"]
+
+    # Scale acquires extra slots and later releases some (scale-down).
+    scale_run = runs["Scale"]
+    extra = scale_run.recorder.extra_slots_series()
+    assert max(extra) >= 1
+    assert extra[-1] < max(extra)
+    kinds = [r.kind for r in scale_run.manager.history]
+    assert ActionKind.SCALE_DOWN in kinds
+
+    # Re-assign and Re-plan never change parallelism.
+    for name in ("Re-assign", "Re-plan"):
+        assert max(runs[name].recorder.extra_slots_series()) == 0
+
+    # Re-plan's tail exceeds Scale's (the unfixable-at-p-fixed backlog).
+    assert runs["Re-plan"].recorder.delay_percentile(99) > (
+        runs["Scale"].recorder.delay_percentile(99)
+    )

@@ -1,0 +1,53 @@
+"""Figure 11: WASP in a live, trace-driven environment.
+
+Paper (Section 8.6): bandwidth factors 0.51-2.36, workload factors 0.8-2.4,
+and a failure at t=540 revoking every slot for 60 seconds, on the stateful
+Top-K query.
+
+Expected shape:
+* WASP's delay stays near the unconstrained baseline for most of the run
+  and recovers quickly after the failure by scaling out, then scales back
+  down;
+* No Adapt's delay explodes after the failure (queued events);
+* Degrade holds a low delay but sacrifices events.
+"""
+
+import numpy as np
+
+from conftest import scenario_runs
+from repro.core.actions import ActionKind
+from repro.experiments.figures import fig11_report, segment_mean
+
+
+def test_fig11_live_environment(bench_once):
+    runs = bench_once(lambda: scenario_runs("fig11"))
+    print()
+    print(fig11_report(runs))
+
+    wasp_run = runs["WASP"]
+    delay = wasp_run.recorder.delay_series()
+    baseline = segment_mean(delay, 100, 500)
+
+    # WASP: most of the run stays near baseline (paper: "close to 1 second
+    # ... for most of the time").
+    finite = delay[~np.isnan(delay)]
+    near_baseline = float(np.mean(finite < max(3 * baseline, 3.0)))
+    assert near_baseline > 0.8
+
+    # WASP recovers within ~5 minutes of the failure ending.
+    assert segment_mean(delay, 900, 1100) < max(3 * baseline, 3.0)
+
+    # Recovery used scaling, and resources were later released.
+    kinds = [r.kind for r in wasp_run.manager.history]
+    assert {ActionKind.SCALE_OUT, ActionKind.SCALE_UP} & set(kinds)
+    assert ActionKind.SCALE_DOWN in kinds
+
+    # No Adapt suffers far more after the failure.
+    static_delay = runs["No Adapt"].recorder.delay_series()
+    assert segment_mean(static_delay, 700, 1000) > (
+        5 * segment_mean(delay, 700, 1000)
+    )
+
+    # Degrade keeps its delay low but drops events; WASP drops none.
+    assert runs["Degrade"].recorder.processed_fraction() < 1.0
+    assert wasp_run.recorder.processed_fraction() == 1.0

@@ -1,0 +1,34 @@
+"""Figure 12: quality vs delay trade-offs in the live environment.
+
+Paper: Degrade sacrificed up to ~24% of the events to keep its delay low;
+WASP processed 100% but with a longer delay-tail distribution (monitoring,
+state-migration transitions, and queued events after failure recovery).
+"""
+
+from conftest import scenario_runs
+from repro.experiments.figures import fig12_report
+
+
+def test_fig12_quality_tradeoff(bench_once):
+    runs = bench_once(lambda: scenario_runs("fig11"))
+    print()
+    print(fig12_report(runs))
+
+    wasp_run = runs["WASP"]
+    degrade_run = runs["Degrade"]
+
+    # Quality: WASP and No Adapt process everything; Degrade loses a
+    # substantial fraction (paper: up to ~24%).
+    assert wasp_run.recorder.processed_fraction() == 1.0
+    assert runs["No Adapt"].recorder.processed_fraction() == 1.0
+    dropped = 1.0 - degrade_run.recorder.processed_fraction()
+    assert 0.05 < dropped < 0.5
+
+    # Delay distribution: WASP's tail is longer than Degrade's (the cost
+    # of processing every event), but its median is at least as good.
+    assert wasp_run.recorder.delay_percentile(99) > (
+        degrade_run.recorder.delay_percentile(99)
+    )
+    assert wasp_run.recorder.delay_percentile(50) <= (
+        degrade_run.recorder.delay_percentile(50) * 1.5
+    )

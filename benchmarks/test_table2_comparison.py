@@ -1,0 +1,46 @@
+"""Table 2: qualitative comparison between adaptation techniques.
+
+The table drives the Figure-6 policy; this benchmark prints it and
+cross-checks its claims against the *implemented* behaviour: only
+degradation reduces quality, re-planning is the only query-granularity /
+high-overhead technique, and the re-optimization techniques are general.
+"""
+
+from conftest import scenario_runs
+from repro.core.comparison import (
+    TABLE_2,
+    Applicability,
+    Granularity,
+    Overhead,
+    profile,
+)
+from repro.experiments.figures import table2_report
+
+
+def test_table2_comparison(bench_once):
+    print()
+    print(bench_once(table2_report))
+
+    # Structural claims of the table itself.
+    assert [row.technique for row in TABLE_2] == [
+        "Task Re-Assignment",
+        "Operator Scaling",
+        "Query Re-Planning",
+        "Data Degradation",
+    ]
+    assert profile("data degradation").quality_reduction
+    assert not any(
+        row.quality_reduction
+        for row in TABLE_2
+        if row.technique != "Data Degradation"
+    )
+    assert profile("query re-planning").overhead is Overhead.HIGH
+    assert profile("task").granularity is Granularity.STAGE
+    assert profile("operator").applicability is Applicability.GENERAL
+
+    # Cross-check against the Figure 8 runs: the re-optimizing controller
+    # (general techniques, no quality reduction) processed every event, the
+    # degradation baseline did not.
+    runs = scenario_runs("fig8-topk-topics")
+    assert runs["WASP"].recorder.processed_fraction() == 1.0
+    assert runs["Degrade"].recorder.processed_fraction() < 1.0

@@ -1,0 +1,59 @@
+"""Table 3: location-based query details.
+
+Prints the query inventory and validates it against the paper's table:
+state classes (<10 MB / ~100 MB / 0 MB), operator vocabularies, and
+datasets.
+"""
+
+import numpy as np
+
+from repro.engine.operators import OperatorKind
+from repro.experiments.figures import table3_report
+from repro.network.traces import paper_testbed
+from repro.sim.rng import RngRegistry
+from repro.workloads.queries import all_queries
+
+
+def test_table3_queries(bench_once):
+    def build():
+        rngs = RngRegistry(42)
+        topology = paper_testbed(rngs.stream("topology"))
+        return all_queries(topology, rngs.stream("query"))
+
+    queries = bench_once(build)
+    print()
+    print(table3_report(queries))
+
+    by_name = {q.name: q for q in queries}
+
+    # State classes per Table 3.
+    ysb_state = sum(
+        op.state_mb
+        for op in by_name["ysb-advertising"].primary.stateful_operators()
+    )
+    topk_state = sum(
+        op.state_mb
+        for op in by_name["topk-topics"].primary.stateful_operators()
+    )
+    events_state = sum(
+        op.state_mb
+        for op in by_name["events-of-interest"].primary.stateful_operators()
+    )
+    assert ysb_state < 10.0
+    assert 50.0 <= topk_state <= 150.0
+    assert events_state == 0.0
+
+    # Operator vocabularies per Table 3.
+    ysb_kinds = {op.kind for op in by_name["ysb-advertising"].primary}
+    assert {
+        OperatorKind.FILTER, OperatorKind.MAP, OperatorKind.JOIN,
+        OperatorKind.WINDOW_AGGREGATE,
+    } <= ysb_kinds
+    events_kinds = {op.kind for op in by_name["events-of-interest"].primary}
+    assert {
+        OperatorKind.FILTER, OperatorKind.UNION, OperatorKind.PROJECT,
+    } <= events_kinds
+
+    # Datasets.
+    assert by_name["ysb-advertising"].table3.dataset.startswith("YSB")
+    assert "Twitter" in by_name["topk-topics"].table3.dataset

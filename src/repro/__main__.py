@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` - deploy a Table-3 query under a named dynamics scenario and one
+  or more controller variants; prints the per-variant summary and the
+  adaptation log.
+* ``figures`` - regenerate one of the paper's figures/tables as text.
+* ``list`` - enumerate the available queries, variants, dynamics, figures.
+
+Examples::
+
+    python -m repro run --query topk-topics --variant WASP \
+        --dynamics bottleneck --duration 900
+    python -m repro run --query ysb-advertising \
+        --variant "No Adapt" --variant WASP --dynamics live
+    python -m repro figures fig13
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines.variants import ALL_NAMED, VariantSpec
+from .errors import WaspError
+from .experiments import figures as fig
+from .experiments.harness import ExperimentRun
+from .experiments.scenarios import (
+    FIG13_STATE_MB,
+    FIG14_STATE_SIZES_MB,
+    MIGRATION_RUN_DURATION_S,
+    MIGRATION_TRIGGER_AT_S,
+    bottleneck_dynamics,
+    build_migration_run,
+    fig8_scenario,
+    fig10_scenario,
+    fig11_scenario,
+    force_partitioned_adaptation,
+    force_reassignment,
+    live_dynamics,
+    make_query_by_name,
+    migration_variants,
+    quiet_dynamics,
+    technique_dynamics,
+)
+from .network.bandwidth import oregon_ohio_trace
+from .network.traces import paper_testbed
+from .sim.rng import RngRegistry
+from .workloads.queries import all_queries
+
+QUERIES = ("ysb-advertising", "topk-topics", "events-of-interest")
+DYNAMICS = {
+    "quiet": quiet_dynamics,
+    "bottleneck": bottleneck_dynamics,
+    "technique": technique_dynamics,
+    "live": live_dynamics,
+}
+FIGURES = (
+    "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "table2", "table3",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="WASP (Middleware '20) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a query under dynamics")
+    run_p.add_argument("--query", choices=QUERIES, default="topk-topics")
+    run_p.add_argument(
+        "--variant",
+        action="append",
+        default=None,
+        help=f"controller variant (repeatable); one of {sorted(ALL_NAMED)}",
+    )
+    run_p.add_argument("--dynamics", choices=sorted(DYNAMICS),
+                       default="bottleneck")
+    run_p.add_argument("--duration", type=float, default=900.0)
+    run_p.add_argument("--seed", type=int, default=42)
+
+    fig_p = sub.add_parser("figures", help="regenerate a paper figure/table")
+    fig_p.add_argument("which", choices=FIGURES)
+    fig_p.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("list", help="list queries, variants, dynamics, figures")
+    return parser
+
+
+def _resolve_variants(names: list[str] | None) -> list[VariantSpec]:
+    if not names:
+        return [ALL_NAMED["WASP"]]
+    specs = []
+    for name in names:
+        if name not in ALL_NAMED:
+            raise WaspError(
+                f"unknown variant {name!r}; choose from {sorted(ALL_NAMED)}"
+            )
+        specs.append(ALL_NAMED[name])
+    return specs
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    variants = _resolve_variants(args.variant)
+    print(
+        f"query={args.query} dynamics={args.dynamics} "
+        f"duration={args.duration:.0f}s seed={args.seed}"
+    )
+    for variant in variants:
+        rngs = RngRegistry(args.seed)
+        topology = paper_testbed(rngs.stream("topology"))
+        query = make_query_by_name(args.query)(topology, rngs)
+        run = ExperimentRun(topology, query, variant, rngs=rngs)
+        dynamics = DYNAMICS[args.dynamics](rngs)
+        recorder = run.run(args.duration, dynamics)
+        print(f"\n--- {variant.name} ---")
+        print(f"  mean delay      : {recorder.mean_delay():10.2f} s")
+        print(f"  p95 delay       : {recorder.delay_percentile(95):10.2f} s")
+        print(f"  p99 delay       : {recorder.delay_percentile(99):10.2f} s")
+        print(
+            f"  processed       : "
+            f"{recorder.processed_fraction() * 100:9.1f} %"
+        )
+        if run.manager is not None and run.manager.history:
+            print("  adaptations:")
+            for record in run.manager.history:
+                print(
+                    f"    t={record.t_s:6.0f}s {record.kind.value:11s} "
+                    f"{record.stage:30s} transition={record.transition_s:.1f}s"
+                )
+    return 0
+
+
+def _figures_runs(which: str, seed: int):
+    from .experiments.harness import run_variants
+
+    if which in ("fig8", "fig9"):
+        scenario = fig8_scenario("topk-topics")
+    elif which == "fig10":
+        scenario = fig10_scenario()
+    else:
+        scenario = fig11_scenario()
+    return run_variants(
+        scenario.make_topology,
+        scenario.make_query,
+        list(scenario.variants),
+        scenario.duration_s,
+        scenario.make_dynamics,
+        seed=seed,
+    )
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    which, seed = args.which, args.seed
+    if which == "fig2":
+        print(fig.fig2_report(oregon_ohio_trace(np.random.default_rng(seed))))
+    elif which == "fig7":
+        print(fig.fig7_report(paper_testbed(np.random.default_rng(seed))))
+    elif which == "fig8":
+        print(fig.fig8_report(_figures_runs(which, seed), "topk-topics"))
+    elif which == "fig9":
+        print(fig.fig9_report(_figures_runs(which, seed), "topk-topics"))
+    elif which == "fig10":
+        print(fig.fig10_report(_figures_runs(which, seed)))
+    elif which == "fig11":
+        print(fig.fig11_report(_figures_runs(which, seed)))
+    elif which == "fig12":
+        print(fig.fig12_report(_figures_runs(which, seed)))
+    elif which == "fig13":
+        breakdowns = []
+        for variant in migration_variants():
+            run = build_migration_run(variant, FIG13_STATE_MB, seed=20)
+            run.run(MIGRATION_TRIGGER_AT_S)
+            destination = force_reassignment(run)
+            run.run(MIGRATION_RUN_DURATION_S - MIGRATION_TRIGGER_AT_S)
+            breakdowns.append(
+                fig.measure_overhead(
+                    run, run.manager.history[-1], destination=destination
+                )
+            )
+        print(fig.fig13_report(breakdowns))
+    elif which == "fig14":
+        rows = []
+        for mode in ("Default", "Partitioned"):
+            for size in FIG14_STATE_SIZES_MB:
+                run = build_migration_run(ALL_NAMED["WASP"], size, seed=20)
+                run.run(MIGRATION_TRIGGER_AT_S)
+                if mode == "Partitioned":
+                    force_partitioned_adaptation(run, t_threshold_s=30.0)
+                else:
+                    force_reassignment(run)
+                run.run(700.0 - MIGRATION_TRIGGER_AT_S)
+                rows.append(
+                    (mode, size,
+                     fig.measure_overhead(run, run.manager.history[-1]))
+                )
+        print(fig.fig14_report(rows))
+    elif which == "table2":
+        print(fig.table2_report())
+    elif which == "table3":
+        rngs = RngRegistry(seed)
+        topology = paper_testbed(rngs.stream("topology"))
+        print(fig.table3_report(all_queries(topology, rngs.stream("query"))))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("queries  :", ", ".join(QUERIES))
+    print("variants :", ", ".join(sorted(ALL_NAMED)))
+    print("dynamics :", ", ".join(sorted(DYNAMICS)))
+    print("figures  :", ", ".join(FIGURES))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "figures":
+            return cmd_figures(args)
+        return cmd_list(args)
+    except WaspError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Baseline controller variants (Sections 8.4-8.7)."""
+
+from .variants import (
+    ALL_NAMED,
+    VariantSpec,
+    degrade,
+    no_adapt,
+    reassign_only,
+    replan_only,
+    scale_only,
+    wasp,
+    wasp_long_term,
+)
+
+__all__ = [
+    "ALL_NAMED",
+    "VariantSpec",
+    "degrade",
+    "no_adapt",
+    "reassign_only",
+    "replan_only",
+    "scale_only",
+    "wasp",
+    "wasp_long_term",
+]

@@ -1,0 +1,499 @@
+"""The Reconfiguration Manager (Sections 3.1 and 6).
+
+This is the component the Global Metric Monitor asks to resolve unhealthy
+executions.  Once per monitoring interval it:
+
+1. refreshes the WAN monitor's pairwise bandwidth measurements,
+2. collects the interval's metrics window,
+3. estimates the actual (unthrottled) workload per stage (Section 3.3),
+4. diagnoses every stage (Section 3.2),
+5. asks the policy for adaptation actions (Section 6.2, Figure 6), and
+6. executes them: slot re-allocation via the scheduler, state movement via
+   the migration planner + state store, and execution suspension via the
+   engine's mutation API (the transition phase of Section 8.7).
+
+The controller also hosts the baselines' restricted behaviours: the policy
+mode limits *which* techniques may fire (Section 8.5) and the migration
+strategy selects WASP / Random / Distant / None state movement
+(Section 8.7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import WaspConfig
+from ..engine.checkpoint import CheckpointCoordinator
+from ..engine.metrics import GlobalMetricMonitor, MetricsWindow
+from ..engine.physical import PhysicalPlan, Stage
+from ..engine.runtime import EngineRuntime, TickReport
+from ..engine.state import StateStore
+from ..errors import AdaptationError
+from ..network.monitor import WanMonitor
+from ..network.relay import relayed_bandwidth_lookup
+from ..planner.scheduler import AssignmentDiff, Scheduler
+from ..sim.recorder import RunRecorder
+from .actions import (
+    Action,
+    ActionKind,
+    ReassignAction,
+    ReplanAction,
+    ScaleAction,
+    ScaleDownAction,
+)
+from .diagnosis import Diagnoser, StageDiagnosis
+from .estimator import WorkloadEstimator
+from .migration import (
+    MigrationPlan,
+    MigrationStrategy,
+    plan_migration,
+    rebalance_transfers,
+)
+from .policy import AdaptationPolicy, PolicyContext, PolicyMode
+from .replanning import Replanner
+
+
+@dataclass
+class AdaptationRecord:
+    """One executed action, for experiment annotation and assertions."""
+
+    t_s: float
+    kind: ActionKind
+    stage: str
+    reason: str
+    transition_s: float
+    migration: MigrationPlan | None = None
+
+
+class _NetworkAdapter:
+    """Bridges the diagnoser/policy protocols to monitor + topology."""
+
+    def __init__(self, manager: "ReconfigurationManager") -> None:
+        self._m = manager
+
+    def bandwidth_mbps(self, src: str, dst: str) -> float:
+        return self._m.wan_monitor.bandwidth_mbps(src, dst)
+
+    def latency_ms(self, src: str, dst: str) -> float:
+        return self._m.wan_monitor.latency_ms(src, dst)
+
+    def site_proc_rate_eps(self, site: str) -> float:
+        site_obj = self._m.runtime.topology.site(site)
+        if site_obj.failed:
+            return 0.0
+        return site_obj.effective_proc_rate_eps
+
+    def plan_for(self, stage_name: str) -> PhysicalPlan | None:
+        plan = self._m.runtime.plan
+        return plan if stage_name in plan.stages else None
+
+
+class ReconfigurationManager:
+    """Monitors, diagnoses and adapts one running query."""
+
+    def __init__(
+        self,
+        runtime: EngineRuntime,
+        scheduler: Scheduler,
+        wan_monitor: WanMonitor,
+        state_store: StateStore,
+        checkpoints: CheckpointCoordinator,
+        *,
+        replanner: Replanner | None = None,
+        config: WaspConfig | None = None,
+        recorder: RunRecorder | None = None,
+        mode: PolicyMode | None = None,
+        migration_strategy: MigrationStrategy = MigrationStrategy.WASP,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.wan_monitor = wan_monitor
+        self.state_store = state_store
+        self.checkpoints = checkpoints
+        self.replanner = replanner
+        self.config = config or WaspConfig.paper_defaults()
+        self.recorder = recorder
+        self.mode = mode or PolicyMode.wasp()
+        self.migration_strategy = migration_strategy
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.monitor = GlobalMetricMonitor()
+        self.estimator = WorkloadEstimator()
+        self.diagnoser = Diagnoser(self.config)
+        self.policy = AdaptationPolicy(self.estimator)
+        self.network = _NetworkAdapter(self)
+
+        self.history: list[AdaptationRecord] = []
+        self.state_lost_mb = 0.0
+        self.last_window: MetricsWindow | None = None
+        self.last_diagnoses: dict[str, StageDiagnosis] = {}
+
+        # Bulk state transfers may route through a relay site when the
+        # config enables it; live stream placement always uses direct links.
+        if self.config.migration_relays:
+            self.migration_bandwidth = relayed_bandwidth_lookup(
+                self.runtime.topology.site_names,
+                self.wan_monitor.bandwidth_mbps,
+            )
+        else:
+            self.migration_bandwidth = self.wan_monitor.bandwidth_mbps
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def observe_tick(self, report: TickReport) -> None:
+        self.monitor.observe(report)
+
+    # ------------------------------------------------------------------ #
+    # The adaptation loop body
+    # ------------------------------------------------------------------ #
+
+    def adaptation_round(self, now_s: float) -> list[AdaptationRecord]:
+        """One monitoring-interval iteration; returns the actions executed."""
+        self.wan_monitor.refresh(now_s)
+        window = self.monitor.collect(self.runtime.sink_source_equiv)
+        self.last_window = window
+        plan = self.runtime.plan
+        estimates = self.estimator.estimate(plan, window)
+        diagnoses = self.diagnoser.diagnose(
+            plan, window, estimates, self.network
+        )
+        self.last_diagnoses = diagnoses
+
+        # Skip stages still transitioning from the previous adaptation.
+        actionable = {
+            name: diag
+            for name, diag in diagnoses.items()
+            if not self.runtime.is_suspended(name)
+        }
+
+        ctx = PolicyContext(
+            plan=plan,
+            diagnoses=actionable,
+            estimates=estimates,
+            network=self.network,
+            available_slots=self.runtime.topology.available_slots(),
+            state_mb_at=self.state_store.mb_at_site,
+            source_generation_eps=dict(window.source_generation_eps),
+            config=self.config,
+            replanner=self.replanner,
+            mode=self.mode,
+            migration_bandwidth=self.migration_bandwidth,
+        )
+        actions = self.policy.decide(ctx)
+        # Re-planning replaces the entire execution (high overhead, Table
+        # 2); a cooldown prevents thrashing between near-equal plans.
+        last_replan = max(
+            (r.t_s for r in self.history if r.kind is ActionKind.REPLAN),
+            default=float("-inf"),
+        )
+        actions = [
+            a
+            for a in actions
+            if not (
+                isinstance(a, ReplanAction)
+                and now_s - last_replan < self.config.replan_cooldown_s
+            )
+        ]
+        executed: list[AdaptationRecord] = []
+        for action in actions:
+            record = self._execute(action, now_s)
+            if record is not None:
+                executed.append(record)
+                self.history.append(record)
+                if self.recorder is not None:
+                    self.recorder.record_adaptation(
+                        now_s, record.kind.value, record.reason
+                    )
+        return executed
+
+    # ------------------------------------------------------------------ #
+    # Action execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, action: Action, now_s: float) -> AdaptationRecord | None:
+        if isinstance(action, ReassignAction):
+            return self._execute_reassign(action, now_s)
+        if isinstance(action, ScaleAction):
+            return self._execute_scale(action, now_s)
+        if isinstance(action, ScaleDownAction):
+            return self._execute_scale_down(action, now_s)
+        if isinstance(action, ReplanAction):
+            return self._execute_replan(action, now_s)
+        raise AdaptationError(f"unknown action type: {action!r}")
+
+    def _stage(self, name: str) -> Stage:
+        return self.runtime.plan.stage(name)
+
+    def _execute_reassign(
+        self, action: ReassignAction, now_s: float
+    ) -> AdaptationRecord:
+        stage = self._stage(action.stage)
+        moved_out = {
+            site: self.state_store.mb_at_site(stage.name, site)
+            for site, count in stage.placement().items()
+            if action.new_assignment.get(site, 0) < count
+        }
+        diff = self.scheduler.apply_assignment(stage, action.new_assignment)
+        migration = self._migrate_for_diff(stage, moved_out, diff)
+        transition = (
+            self.config.reconfig_base_overhead_s + migration.transition_s
+        )
+        self.runtime.suspend_stage(stage.name, now_s + transition)
+        self._apply_migration_side_effects(stage, migration)
+        self._rehome_orphans(stage, diff)
+        return AdaptationRecord(
+            t_s=now_s,
+            kind=ActionKind.REASSIGN,
+            stage=stage.name,
+            reason=action.reason,
+            transition_s=transition,
+            migration=migration,
+        )
+
+    def _execute_scale(
+        self, action: ScaleAction, now_s: float
+    ) -> AdaptationRecord:
+        stage = self._stage(action.stage)
+        before_state = {
+            site: self.state_store.mb_at_site(stage.name, site)
+            for site in stage.placement()
+        }
+        diff = self.scheduler.apply_assignment(stage, action.new_assignment)
+        migration: MigrationPlan | None = None
+        transition = self.config.reconfig_base_overhead_s
+        if stage.stateful and self.state_store.total_mb(stage.name) > 0:
+            migration = self._rebalance_state(stage, before_state)
+            transition += migration.transition_s
+        elif stage.stateful:
+            task_sites = [t.site for t in stage.tasks]
+            self.state_store.rebalance(stage.name, task_sites)
+        self._rehome_orphans(stage, diff)
+        self.runtime.suspend_stage(stage.name, now_s + transition)
+        return AdaptationRecord(
+            t_s=now_s,
+            kind=action.kind,
+            stage=stage.name,
+            reason=action.reason,
+            transition_s=transition,
+            migration=migration,
+        )
+
+    def _execute_scale_down(
+        self, action: ScaleDownAction, now_s: float
+    ) -> AdaptationRecord:
+        stage = self._stage(action.stage)
+        partition_mb = (
+            self.state_store.mb_at_site(stage.name, action.site)
+            if stage.stateful
+            else 0.0
+        )
+        self.scheduler.remove_task(stage, action.site)
+        # Relay the terminated task's queued input and state to the
+        # best-connected surviving site.
+        survivors = stage.sites()
+        target = max(
+            survivors,
+            key=lambda s: self.wan_monitor.bandwidth_mbps(action.site, s)
+            if s != action.site
+            else float("inf"),
+        )
+        transition = 0.0
+        migration = None
+        if stage.stateful and partition_mb > 0 and action.site not in survivors:
+            migration = plan_migration(
+                stage.name,
+                {action.site: partition_mb},
+                [target],
+                self.migration_bandwidth,
+                strategy=self.migration_strategy,
+                rng=self._rng,
+            )
+            transition = migration.transition_s
+            self.state_lost_mb += migration.state_abandoned_mb
+        if stage.stateful:
+            self.state_store.rebalance(
+                stage.name, [t.site for t in stage.tasks]
+            )
+        if action.site not in survivors:
+            self.runtime.relay_queue(stage.name, action.site, target)
+            self.runtime.redirect_flows(stage.name, action.site, target)
+        if transition > 0:
+            self.runtime.suspend_stage(stage.name, now_s + transition)
+        return AdaptationRecord(
+            t_s=now_s,
+            kind=ActionKind.SCALE_DOWN,
+            stage=stage.name,
+            reason=action.reason,
+            transition_s=transition,
+            migration=migration,
+        )
+
+    def _execute_replan(
+        self, action: ReplanAction, now_s: float
+    ) -> AdaptationRecord:
+        estimate = action.estimate
+        old_plan = self.runtime.plan
+        new_plan = estimate.physical
+        assignments = dict(estimate.assignments)
+
+        # Keep surviving stateful stages where they run today, so their
+        # state never crosses the WAN during the switch - but only when the
+        # stage really is the *same* sub-plan (matching signature) and its
+        # state outlives windows.  Window-bounded stages re-initialize at
+        # the boundary (Section 4.3), so they follow the new plan's
+        # placement, which was chosen for the new flow pattern.
+        surviving = set(new_plan.stages) & set(old_plan.stages)
+        for name in surviving:
+            old_stage = old_plan.stage(name)
+            if not (old_stage.stateful and old_stage.parallelism > 0):
+                continue
+            if old_stage.window_s > 0:
+                continue
+            head = old_stage.head.name
+            if head not in new_plan.logical.operators:
+                continue
+            old_sig = old_plan.logical.subplan_signature(head)
+            new_sig = new_plan.logical.subplan_signature(head)
+            if old_sig == new_sig:
+                assignments[name] = dict(old_stage.placement())
+
+        self.scheduler.undeploy(old_plan)
+        self.scheduler.deploy(new_plan, assignments)
+
+        # State: drop removed stages (the safety check guarantees they were
+        # stateless or window-bounded), carry surviving ones (placement was
+        # pinned above, so no WAN transfer), initialize new stateful stages.
+        for name in self.state_store.stage_names():
+            if name not in new_plan.stages:
+                self.state_store.drop_stage(name)
+        for stage in new_plan.topological_stages():
+            if not stage.stateful:
+                continue
+            task_sites = [t.site for t in stage.tasks]
+            if stage.name in surviving and self.state_store.total_mb(stage.name) > 0:
+                self.state_store.rebalance(stage.name, task_sites)
+            else:
+                self.state_store.initialize_stage(
+                    stage.name, stage.state_mb, task_sites
+                )
+
+        self.runtime.replace_plan(new_plan)
+        transition = self.config.replan_deploy_overhead_s
+        for stage in new_plan.topological_stages():
+            if stage.is_source:
+                continue
+            # Queued/in-flight events destined to sites the new deployment
+            # does not cover follow the execution to its new sites.
+            self.runtime.rehome_to_placement(
+                stage.name, self.wan_monitor.bandwidth_mbps
+            )
+            self.runtime.suspend_stage(stage.name, now_s + transition)
+        return AdaptationRecord(
+            t_s=now_s,
+            kind=ActionKind.REPLAN,
+            stage=action.stage,
+            reason=action.reason,
+            transition_s=transition,
+            migration=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # State-migration helpers
+    # ------------------------------------------------------------------ #
+
+    def _migrate_for_diff(
+        self,
+        stage: Stage,
+        moved_out: dict[str, float],
+        diff: AssignmentDiff,
+    ) -> MigrationPlan:
+        moved_in: list[str] = []
+        for site, count in diff.added.items():
+            moved_in.extend([site] * count)
+        moved_out = {s: mb for s, mb in moved_out.items() if s in diff.removed}
+        plan = plan_migration(
+            stage.name,
+            moved_out,
+            moved_in,
+            self.migration_bandwidth,
+            strategy=self.migration_strategy,
+            rng=self._rng,
+        )
+        return plan
+
+    def _apply_migration_side_effects(
+        self, stage: Stage, migration: MigrationPlan
+    ) -> None:
+        for transfer in migration.transfers:
+            self.checkpoints.forget_site(stage.name, transfer.from_site)
+        if stage.stateful:
+            task_sites = [t.site for t in stage.tasks]
+            if migration.state_abandoned_mb > 0:
+                # No Migrate: abandoned partitions restart empty (Section
+                # 8.7.1 - "ignoring the state will result in a loss of
+                # accuracy in the result").
+                self.state_lost_mb += migration.state_abandoned_mb
+                remaining = max(
+                    0.0,
+                    self.state_store.total_mb(stage.name)
+                    - migration.state_abandoned_mb,
+                )
+                self.state_store.initialize_stage(
+                    stage.name, remaining, task_sites
+                )
+            else:
+                # The store mirrors deployment: balanced partition per task.
+                self.state_store.rebalance(stage.name, task_sites)
+
+    def _rebalance_state(
+        self, stage: Stage, before_state: dict[str, float]
+    ) -> MigrationPlan:
+        """State re-partitioning after a parallelism change (Section 8.7.2).
+
+        The balanced layout assigns ``|state| / p'`` per task; sites with
+        excess (including sites the stage vacated entirely) ship slices to
+        sites with deficits.  Because the per-slice size shrinks as ``p'``
+        grows, scale-out bounds the slowest transfer - the reason state
+        partitioning mitigates the adaptation overhead for large states.
+        """
+        total_mb = self.state_store.total_mb(stage.name)
+        placement = stage.placement()
+        p_new = max(1, sum(placement.values()))
+        share_mb = total_mb / p_new
+        target = {site: share_mb * count for site, count in placement.items()}
+        strategy = self.migration_strategy
+        if strategy is MigrationStrategy.NONE:
+            # State partitioning always ships the state: abandoning it here
+            # would silently turn a stateful scale into data loss.
+            strategy = MigrationStrategy.WASP
+        plan = rebalance_transfers(
+            stage.name,
+            before_state,
+            target,
+            self.migration_bandwidth,
+            strategy=strategy,
+            rng=self._rng,
+        )
+        self.state_store.rebalance(stage.name, [t.site for t in stage.tasks])
+        return plan
+
+    def _rehome_orphans(self, stage: Stage, diff: AssignmentDiff) -> None:
+        """Move queued input and in-flight traffic off sites the stage no
+        longer runs at, onto the best-connected surviving site."""
+        survivors = set(stage.placement())
+        if not survivors:
+            return
+        for site in sorted(diff.removed):
+            if site in survivors:
+                continue
+            target = max(
+                sorted(survivors),
+                key=lambda s: self.wan_monitor.bandwidth_mbps(site, s),
+            )
+            self.runtime.move_task_queue(stage.name, site, target)
+            self.runtime.redirect_flows(stage.name, site, target)

@@ -1,0 +1,156 @@
+"""Operator-scaling factor computation (Section 4.2).
+
+WASP computes the new parallelism of a bottleneck operator from the ratio of
+the actual (expected) input rate to the observed processing rate, following
+DS2's rate-based model:
+
+    p' = ceil( lambda_hat_I / lambda_P * p )
+
+which is the minimum parallelism that resolves the bottleneck.  For network
+bottlenecks, the scale-out factor is "the ratio between the stream rate that
+cannot be handled over the bandwidth availability" - each additional task
+placed behind a different link absorbs that link's worth of traffic.
+
+Scale-down is deliberately gradual: one task per iteration, and only when
+every remaining task would have both the compute and bandwidth headroom to
+absorb the relayed load (the paper prioritizes performance stability over
+resource utilization).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import WaspConfig
+from ..engine.physical import Stage
+from .diagnosis import StageDiagnosis
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """A computed parallelism change for one stage."""
+
+    stage: str
+    current: int
+    target: int
+
+    @property
+    def delta(self) -> int:
+        return self.target - self.current
+
+
+def compute_scale_up_target(
+    stage: Stage,
+    diagnosis: StageDiagnosis,
+    config: WaspConfig | None = None,
+) -> ScaleDecision:
+    """DS2-style minimum parallelism for a compute bottleneck.
+
+    ``lambda_P`` is taken as the stage's current processing *capacity* (the
+    fluid engine runs tasks at capacity when backlogged, so observed
+    lambda_P equals capacity during a bottleneck); using capacity rather
+    than a noisy observation makes the target the true minimum.
+    """
+    config = config or WaspConfig.paper_defaults()
+    p = max(1, stage.parallelism)
+    capacity = diagnosis.processing_capacity_eps
+    if capacity <= 0:
+        # No live capacity (e.g. right after failure): size from scratch
+        # assuming homogeneous tasks - double until reviewed next round.
+        return ScaleDecision(stage.name, p, p * 2)
+    # Accumulated backlog (e.g. after a failure, Section 8.6) is treated as
+    # extra rate to absorb within one monitoring interval, so recovery
+    # provisions enough capacity to drain the queue quickly.
+    effective_input = diagnosis.expected_input_eps + (
+        diagnosis.input_backlog / config.monitor_interval_s
+    )
+    ratio = effective_input / capacity
+    target = max(p + 1, math.ceil(ratio * p))
+    target = min(target, p + config.max_scale_out_per_round)
+    return ScaleDecision(stage.name, p, target)
+
+
+def compute_scale_out_target(
+    stage: Stage,
+    diagnosis: StageDiagnosis,
+    config: WaspConfig | None = None,
+) -> ScaleDecision:
+    """Additional tasks needed to spread constrained links' excess load.
+
+    For each constrained inbound link, the unhandled stream rate is the
+    deficit between the expected flow and the link's capacity; dividing the
+    total deficit by the per-link absorbable rate (the link capacity itself,
+    since a new task behind a fresh link absorbs up to its share) gives the
+    number of extra tasks, which is then re-validated by the placement
+    solver.
+    """
+    config = config or WaspConfig.paper_defaults()
+    p = max(1, stage.parallelism)
+    if not diagnosis.constrained_links:
+        return ScaleDecision(stage.name, p, p)
+    extra = 0
+    for link in diagnosis.constrained_links:
+        if link.capacity_eps <= 0:
+            extra += 1
+            continue
+        # Each new task takes over 1/p' of the flow; approximating with the
+        # current per-task share keeps the estimate conservative (>= 1).
+        per_task_flow = link.expected_flow_eps / p
+        deficit_tasks = math.ceil(
+            link.deficit_eps / max(per_task_flow, link.capacity_eps * 0.1)
+        )
+        extra += max(1, deficit_tasks)
+    extra = min(extra, config.max_scale_out_per_round)
+    target = p + extra
+    # Never target a parallelism below the DS2 compute minimum: a smaller
+    # p' cannot process the expected stream at all, so the anti-hoarding
+    # cap yields to viability (Section 4.2's "minimum parallelism value
+    # that can effectively resolve the bottleneck").
+    if diagnosis.processing_capacity_eps > 0:
+        per_task_rate = diagnosis.processing_capacity_eps / p
+        ds2_minimum = math.ceil(
+            diagnosis.expected_input_eps / max(per_task_rate, 1e-9)
+        )
+        target = max(target, min(ds2_minimum, p + 2 * config.max_scale_out_per_round))
+    return ScaleDecision(stage.name, p, target)
+
+
+def can_scale_down(
+    stage: Stage,
+    diagnosis: StageDiagnosis,
+    config: WaspConfig | None = None,
+) -> bool:
+    """Safe to remove one task?  (Section 4.2's per-iteration check.)
+
+    The remaining tasks must absorb the relayed stream: expected input must
+    fit within the reduced capacity with the waste threshold as headroom,
+    and there must be no standing backlog or constrained links.
+    """
+    config = config or WaspConfig.paper_defaults()
+    if stage.parallelism <= 1:
+        return False
+    if diagnosis.constrained_links:
+        return False
+    if diagnosis.input_backlog_growth > 0:
+        return False
+    capacity = diagnosis.processing_capacity_eps
+    if capacity <= 0 or stage.parallelism == 0:
+        return False
+    per_task = capacity / stage.parallelism
+    remaining = capacity - per_task
+    # 10% headroom above the expected rate so the relayed load does not
+    # immediately re-trigger a bottleneck (stability over utilization).
+    return diagnosis.expected_input_eps <= remaining * 0.9
+
+
+def pick_scale_down_site(stage: Stage) -> str:
+    """Choose which task to terminate: prefer sites not co-located with the
+    rest of the stage (singleton sites), reducing inter-site traffic
+    (Section 4.2 prioritizes tasks not co-located with up/downstream)."""
+    placement = stage.placement()
+    singletons = sorted(s for s, n in placement.items() if n == 1)
+    if len(singletons) < len(placement) and singletons:
+        return singletons[0]
+    # All sites equal: drop from the most-populated site (cheapest relay).
+    return max(sorted(placement), key=lambda s: placement[s])

@@ -1,0 +1,217 @@
+"""Runtime metric monitoring (Sections 3.1 and 3.2).
+
+Each Task Manager's Local Metric Monitor gathers task-level metrics and
+reports them to the Global Metric Monitor, which aggregates them per operator
+over the past time interval:
+
+    lambda_P = sum_i lambda_P[i]      (processing rate)
+    lambda_O = sum_i lambda_O[i]      (output rate)
+    sigma    = lambda_O / lambda_P    (selectivity)
+
+In the fluid engine, task-level observations arrive as
+:class:`~repro.engine.runtime.TickReport` objects; the
+:class:`GlobalMetricMonitor` accumulates them until the controller collects a
+:class:`MetricsWindow`, which resets the accumulation (one monitoring
+interval, 40 s in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .runtime import TickReport
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Aggregated execution metrics for one stage over a window.
+
+    Rates are events/second averaged over the window.  ``backlog_growth``
+    values compare the window's last tick against its first, which is what
+    distinguishes a standing (already-drained) queue from a growing one.
+    """
+
+    stage: str
+    lambda_p: float
+    lambda_i: float
+    lambda_o: float
+    selectivity: float
+    processed_by_site: dict[str, float]
+    capacity_by_site: dict[str, float]
+    input_backlog: float
+    input_backlog_growth: float
+    #: per site: input backlog at window end (imbalance/straggler signal)
+    input_backlog_by_site: dict[str, float]
+    #: per (src_site, dst_site): inbound WAN backlog at window end
+    net_backlog: dict[tuple[str, str], float]
+    #: per (src_site, dst_site): backlog growth over the window
+    net_backlog_growth: dict[tuple[str, str], float]
+    #: per (src_site, dst_site): events/s actually transferred inbound
+    net_inflow: dict[tuple[str, str], float]
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the stage's processing capacity in use."""
+        capacity = sum(self.capacity_by_site.values())
+        if capacity <= 0:
+            return 0.0
+        return self.lambda_p / capacity
+
+
+@dataclass(frozen=True)
+class MetricsWindow:
+    """Everything the controller sees at the end of a monitoring interval."""
+
+    t_start_s: float
+    t_end_s: float
+    offered_eps: float
+    source_generation_eps: dict[str, float]
+    stages: dict[str, StageMetrics]
+    sink_source_equiv_eps: float
+    mean_delay_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end_s - self.t_start_s
+
+
+class GlobalMetricMonitor:
+    """Accumulates tick reports into per-interval metric windows."""
+
+    def __init__(self) -> None:
+        self._reports: list[TickReport] = []
+
+    def observe(self, report: TickReport) -> None:
+        self._reports.append(report)
+
+    @property
+    def pending_ticks(self) -> int:
+        return len(self._reports)
+
+    def collect(
+        self, sink_source_equiv: Callable[[float], float] | None = None
+    ) -> MetricsWindow:
+        """Aggregate and reset the current window.
+
+        Args:
+            sink_source_equiv: Optional callable converting sink emissions
+                into source-equivalents (the engine provides one); identity
+                when omitted.
+        """
+        reports = self._reports
+        self._reports = []
+        if not reports:
+            return MetricsWindow(
+                t_start_s=0.0,
+                t_end_s=0.0,
+                offered_eps=0.0,
+                source_generation_eps={},
+                stages={},
+                sink_source_equiv_eps=0.0,
+                mean_delay_s=float("nan"),
+            )
+
+        t_start = reports[0].t_s
+        t_end = reports[-1].t_s
+        # A window of n ticks spans n tick-lengths; infer the tick length
+        # from the report spacing (a single report falls back to its own t).
+        if len(reports) > 1:
+            tick_len = (t_end - t_start) / (len(reports) - 1)
+        else:
+            tick_len = reports[0].t_s or 1.0
+        span = max(tick_len * len(reports), 1e-9)
+
+        offered = sum(r.offered for r in reports)
+        source_gen: dict[str, float] = {}
+        for r in reports:
+            for name, gen in r.offered_by_source.items():
+                source_gen[name] = source_gen.get(name, 0.0) + gen
+        source_gen_eps = {k: v / span for k, v in source_gen.items()}
+
+        stage_names: set[str] = set()
+        for r in reports:
+            stage_names.update(r.processed)
+            stage_names.update(r.arrived)
+            stage_names.update(r.emitted)
+            stage_names.update(name for name, _ in r.input_backlog)
+            stage_names.update(key[1] for key in r.net_backlog)
+            stage_names.update(key[1] for key in r.net_sent)
+
+        stages: dict[str, StageMetrics] = {}
+        first, last = reports[0], reports[-1]
+        for name in sorted(stage_names):
+            processed = sum(r.processed.get(name, 0.0) for r in reports)
+            arrived = sum(r.arrived.get(name, 0.0) for r in reports)
+            emitted = sum(r.emitted.get(name, 0.0) for r in reports)
+            by_site: dict[str, float] = {}
+            cap_site: dict[str, float] = {}
+            for r in reports:
+                for (stage, site), value in r.processed_by_site.items():
+                    if stage == name:
+                        by_site[site] = by_site.get(site, 0.0) + value
+                for (stage, site), value in r.capacity_by_site.items():
+                    if stage == name:
+                        cap_site[site] = cap_site.get(site, 0.0) + value
+            input_backlog_last = sum(
+                v for (stage, _), v in last.input_backlog.items() if stage == name
+            )
+            backlog_by_site = {
+                site: v
+                for (stage, site), v in last.input_backlog.items()
+                if stage == name
+            }
+            input_backlog_first = sum(
+                v for (stage, _), v in first.input_backlog.items() if stage == name
+            )
+            net_last: dict[tuple[str, str], float] = {}
+            net_first: dict[tuple[str, str], float] = {}
+            net_in: dict[tuple[str, str], float] = {}
+            for (src, dst, su, sd), v in last.net_backlog.items():
+                if dst == name:
+                    net_last[(su, sd)] = net_last.get((su, sd), 0.0) + v
+            for (src, dst, su, sd), v in first.net_backlog.items():
+                if dst == name:
+                    net_first[(su, sd)] = net_first.get((su, sd), 0.0) + v
+            for r in reports:
+                for (src, dst, su, sd), v in r.net_sent.items():
+                    if dst == name:
+                        net_in[(su, sd)] = net_in.get((su, sd), 0.0) + v
+            growth = {
+                link: net_last.get(link, 0.0) - net_first.get(link, 0.0)
+                for link in set(net_last) | set(net_first)
+            }
+            lambda_p = processed / span
+            stages[name] = StageMetrics(
+                stage=name,
+                lambda_p=lambda_p,
+                lambda_i=arrived / span,
+                lambda_o=emitted / span,
+                selectivity=(emitted / processed) if processed > 0 else 0.0,
+                processed_by_site={k: v / span for k, v in by_site.items()},
+                capacity_by_site={k: v / span for k, v in cap_site.items()},
+                input_backlog=input_backlog_last,
+                input_backlog_growth=input_backlog_last - input_backlog_first,
+                input_backlog_by_site=backlog_by_site,
+                net_backlog=net_last,
+                net_backlog_growth=growth,
+                net_inflow={k: v / span for k, v in net_in.items()},
+            )
+
+        sink_events = sum(r.sink_events for r in reports)
+        if sink_source_equiv is not None:
+            sink_equiv = sink_source_equiv(sink_events)
+        else:
+            sink_equiv = sink_events
+        delay_weight = sum(r.sink_delay_weighted_s for r in reports)
+        mean_delay = delay_weight / sink_events if sink_events > 0 else float("nan")
+
+        return MetricsWindow(
+            t_start_s=t_start,
+            t_end_s=t_end,
+            offered_eps=offered / span,
+            source_generation_eps=source_gen_eps,
+            stages=stages,
+            sink_source_equiv_eps=sink_equiv / span,
+            mean_delay_s=mean_delay,
+        )

@@ -1,0 +1,166 @@
+"""Fluid FIFO queues with exact age accounting.
+
+The engine models event streams as fluid: per tick, fractional "parcels" of
+events move between queues.  Each parcel remembers the (average) generation
+time of the events it aggregates, so end-to-end delay is simply
+``now - gen_time`` when a parcel reaches a sink - no per-event objects are
+needed, yet FIFO ordering and ages are preserved exactly at parcel
+granularity.
+
+Crossing a WAN link with latency ``l`` makes a parcel *older* by ``l``
+(``gen_time -= l``), which folds propagation delay into the same accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Parcel:
+    """A fluid bucket of ``count`` events with a common generation time."""
+
+    count: float
+    gen_time_s: float
+
+
+class FluidQueue:
+    """FIFO queue of parcels supporting fractional pop/drop.
+
+    Parcels pushed with (nearly) the same generation time are merged, so the
+    queue length stays bounded by the number of distinct ticks events have
+    been waiting.
+    """
+
+    _MERGE_EPS = 1e-6
+
+    def __init__(self) -> None:
+        self._parcels: deque[Parcel] = deque()
+        self._count = 0.0
+
+    @property
+    def count(self) -> float:
+        """Total events queued."""
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._count > 1e-12)
+
+    def __len__(self) -> int:
+        return len(self._parcels)
+
+    def push(self, count: float, gen_time_s: float) -> None:
+        """Enqueue ``count`` events generated (on average) at ``gen_time_s``."""
+        count = float(count)
+        if count < 0:
+            raise SimulationError(f"cannot push negative count {count}")
+        if count == 0:
+            return
+        if (
+            self._parcels
+            and abs(self._parcels[-1].gen_time_s - gen_time_s) < self._MERGE_EPS
+        ):
+            self._parcels[-1].count += count
+        else:
+            self._parcels.append(Parcel(count, gen_time_s))
+        self._count += count
+
+    def push_parcels(self, parcels: list[Parcel]) -> None:
+        for parcel in parcels:
+            self.push(parcel.count, parcel.gen_time_s)
+
+    def pop(self, count: float) -> list[Parcel]:
+        """Dequeue up to ``count`` events FIFO; returns the parcels removed."""
+        if count < 0:
+            raise SimulationError(f"cannot pop negative count {count}")
+        popped: list[Parcel] = []
+        remaining = min(count, self._count)
+        while remaining > 1e-12 and self._parcels:
+            head = self._parcels[0]
+            if head.count <= remaining + 1e-12:
+                popped.append(Parcel(head.count, head.gen_time_s))
+                remaining -= head.count
+                self._count -= head.count
+                self._parcels.popleft()
+            else:
+                popped.append(Parcel(remaining, head.gen_time_s))
+                head.count -= remaining
+                self._count -= remaining
+                remaining = 0.0
+        if self._count < 1e-12:
+            self._count = 0.0
+            self._parcels.clear()
+        return popped
+
+    def drop_oldest(self, count: float) -> float:
+        """Discard up to ``count`` events from the head; returns dropped."""
+        before = self._count
+        self.pop(count)
+        return before - self._count
+
+    def drop_older_than(self, cutoff_gen_time_s: float) -> float:
+        """Discard every event generated before ``cutoff_gen_time_s``.
+
+        This is the Degrade baseline's move: events whose age already exceeds
+        the SLO are dropped rather than processed late (Section 8.4).
+        FIFO order means stale parcels are all at the head.
+        """
+        dropped = 0.0
+        while self._parcels and self._parcels[0].gen_time_s < cutoff_gen_time_s:
+            dropped += self._parcels[0].count
+            self._count -= self._parcels[0].count
+            self._parcels.popleft()
+        if self._count < 1e-12:
+            self._count = 0.0
+            self._parcels.clear()
+        return dropped
+
+    def clear(self) -> float:
+        """Empty the queue; returns the number of events discarded."""
+        dropped = self._count
+        self._parcels.clear()
+        self._count = 0.0
+        return dropped
+
+    def oldest_gen_time_s(self) -> float | None:
+        return self._parcels[0].gen_time_s if self._parcels else None
+
+    def mean_age_s(self, now_s: float) -> float:
+        """Average age of queued events (0 for an empty queue)."""
+        if self._count <= 0:
+            return 0.0
+        total_age = sum(
+            p.count * (now_s - p.gen_time_s) for p in self._parcels
+        )
+        return total_age / self._count
+
+
+def parcels_total(parcels: list[Parcel]) -> float:
+    return sum(p.count for p in parcels)
+
+
+def parcels_mean_gen_time(parcels: list[Parcel]) -> float:
+    """Event-weighted mean generation time; raises on empty input."""
+    total = parcels_total(parcels)
+    if total <= 0:
+        raise SimulationError("no parcels to average")
+    return sum(p.count * p.gen_time_s for p in parcels) / total
+
+
+def scale_parcels(parcels: list[Parcel], factor: float) -> list[Parcel]:
+    """Multiply parcel counts by ``factor`` (selectivity, fan-out shares)."""
+    if factor < 0:
+        raise SimulationError(f"scale factor must be >= 0, got {factor}")
+    if factor == 0:
+        return []
+    return [Parcel(p.count * factor, p.gen_time_s) for p in parcels]
+
+
+def age_parcels(parcels: list[Parcel], extra_age_s: float) -> list[Parcel]:
+    """Make parcels older by ``extra_age_s`` (WAN latency crossing)."""
+    if extra_age_s < 0:
+        raise SimulationError(f"extra_age_s must be >= 0, got {extra_age_s}")
+    return [Parcel(p.count, p.gen_time_s - extra_age_s) for p in parcels]

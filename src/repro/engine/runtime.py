@@ -1,0 +1,654 @@
+"""Fluid-flow execution engine (the Flink stand-in).
+
+The engine advances in fixed ticks.  Event streams are fluid: parcels of
+events (with exact generation-time accounting, :mod:`repro.engine.queues`)
+flow from pinned sources through stages to sinks, constrained by
+
+* **compute capacity** - tasks at a site process
+  ``n_tasks * proc_rate / stage.cost`` events per second; excess input
+  accumulates in the stage's per-site input queue (computational
+  backpressure, Section 3.3);
+* **WAN bandwidth** - inter-site flows share each directed link's byte
+  budget per tick; excess output accumulates in sender-side network queues
+  (network backpressure), and transferred parcels age by the link latency.
+
+Everything the paper's evaluation measures falls out of this model: event
+delay is ``now - gen_time`` at the sink, the processing ratio is sink
+throughput converted back to source-equivalents, and bottlenecks manifest
+exactly as the paper describes them - ``lambda_P < lambda_I`` when compute
+bound, ``lambda_I < sum lambda_O[upstream]`` when network bound.
+
+Adaptations interact with the engine through a small mutation API: stages
+can be suspended (state-migration transitions halt execution), task queues
+move between sites, and a running plan can be replaced by a re-planned one
+that carries over queues and state for common sub-plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import WaspConfig
+from ..errors import SimulationError
+from ..network.topology import Topology
+from .physical import PhysicalPlan, Stage
+from .queues import (
+    FluidQueue,
+    Parcel,
+    age_parcels,
+    parcels_total,
+    scale_parcels,
+)
+
+#: Conversion: megabits to bytes.
+MBIT_BYTES = 1_000_000 / 8
+
+
+def mbps_to_eps(bandwidth_mbps: float, event_bytes: float) -> float:
+    """Events/second a link sustains at the given event size."""
+    return bandwidth_mbps * MBIT_BYTES / event_bytes
+
+
+@dataclass
+class FlowKey:
+    """Identifies one inter-site flow of a stage edge."""
+
+    src_stage: str
+    dst_stage: str
+    src_site: str
+    dst_site: str
+
+    def as_tuple(self) -> tuple[str, str, str, str]:
+        return (self.src_stage, self.dst_stage, self.src_site, self.dst_site)
+
+
+@dataclass
+class TickReport:
+    """Raw per-tick observations, consumed by the metric monitor."""
+
+    t_s: float
+    offered: float = 0.0
+    #: raw events generated per source stage this tick
+    offered_by_source: dict[str, float] = field(default_factory=dict)
+    sink_events: float = 0.0
+    sink_delay_weighted_s: float = 0.0
+    dropped_source_equiv: float = 0.0
+    #: events arriving at each stage's input queues this tick
+    arrived: dict[str, float] = field(default_factory=dict)
+    #: events processed by each stage this tick
+    processed: dict[str, float] = field(default_factory=dict)
+    #: events emitted by each stage this tick
+    emitted: dict[str, float] = field(default_factory=dict)
+    #: per (stage, site): events processed
+    processed_by_site: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: per (stage, site): processing capacity available this tick
+    capacity_by_site: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: per (stage, site): input backlog at end of tick
+    input_backlog: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: per flow: events transferred this tick
+    net_sent: dict[tuple[str, str, str, str], float] = field(default_factory=dict)
+    #: per flow: network backlog at end of tick
+    net_backlog: dict[tuple[str, str, str, str], float] = field(default_factory=dict)
+
+    def mean_sink_delay_s(self) -> float:
+        if self.sink_events <= 0:
+            return float("nan")
+        return self.sink_delay_weighted_s / self.sink_events
+
+
+class EngineRuntime:
+    """Executes one physical plan on a topology, one tick at a time."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        plan: PhysicalPlan,
+        workload: "WorkloadModel",
+        config: WaspConfig | None = None,
+        *,
+        degrade_slo_s: float | None = None,
+    ) -> None:
+        self._topology = topology
+        self._plan = plan
+        self._workload = workload
+        self._config = config or WaspConfig.paper_defaults()
+        self._degrade_slo_s = degrade_slo_s
+        self._now_s = 0.0
+
+        # Queues.  gen: external arrivals at source sites awaiting the source
+        # task; input: per (stage, site) processing queues; net: sender-side
+        # per-flow WAN queues.
+        self._gen_queue: dict[tuple[str, str], FluidQueue] = {}
+        self._input_queue: dict[tuple[str, str], FluidQueue] = {}
+        self._net_queue: dict[tuple[str, str, str, str], FluidQueue] = {}
+
+        self._suspended_until: dict[str, float] = {}
+        self._stage_equiv_factor: dict[str, float] = {}
+        self._plan_selectivity = 1.0
+        self._n_sources = max(1, len(plan.source_stages()))
+        self._refresh_plan_constants()
+
+        self.last_report = TickReport(t_s=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self._plan
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def workload(self) -> "WorkloadModel":
+        return self._workload
+
+    @property
+    def degrade_slo_s(self) -> float | None:
+        return self._degrade_slo_s
+
+    def _refresh_plan_constants(self) -> None:
+        """Recompute selectivity conversion tables after a plan change."""
+        logical = self._plan.logical
+        weights = None
+        base_rates = getattr(self._workload, "base_rate_eps", None)
+        if callable(base_rates):
+            weights = {
+                op.name: base_rates(op.name) for op in logical.sources()
+            }
+        self._plan_selectivity = max(
+            logical.plan_selectivity(weights), 1e-12
+        )
+        # Conversion factors from stage-input events to source-equivalents,
+        # weighted by the workload's base rate mix so they agree with the
+        # sink conversion (a heavy ad stream and a campaign trickle must
+        # not be treated alike).  Falls back to unit weights when the
+        # workload exposes no base rates.
+        if weights and sum(weights.values()) > 0:
+            reference = dict(weights)
+        else:
+            reference = {s.name: 1.0 for s in self._plan.source_stages()}
+        total_reference = max(sum(reference.values()), 1e-12)
+        rates = self._plan.expected_stage_rates(reference)
+        self._stage_equiv_factor = {
+            name: total_reference / max(vals["input"], 1e-12)
+            for name, vals in rates.items()
+        }
+        self._n_sources = max(1, len(self._plan.source_stages()))
+
+    # ------------------------------------------------------------------ #
+    # Queue helpers
+    # ------------------------------------------------------------------ #
+
+    def _queue(
+        self, table: dict, key: tuple
+    ) -> FluidQueue:
+        queue = table.get(key)
+        if queue is None:
+            queue = FluidQueue()
+            table[key] = queue
+        return queue
+
+    def input_backlog(self, stage_name: str, site: str | None = None) -> float:
+        """Events queued at a stage's input (optionally one site only)."""
+        total = 0.0
+        for (name, s), queue in self._input_queue.items():
+            if name == stage_name and (site is None or s == site):
+                total += queue.count
+        if self._plan.stages.get(stage_name, None) is not None:
+            stage = self._plan.stages[stage_name]
+            if stage.is_source:
+                for (name, s), queue in self._gen_queue.items():
+                    if name == stage_name and (site is None or s == site):
+                        total += queue.count
+        return total
+
+    def net_backlog_for(self, dst_stage: str) -> dict[tuple[str, str], float]:
+        """Per (src_site, dst_site) WAN backlog feeding ``dst_stage``."""
+        result: dict[tuple[str, str], float] = {}
+        for (src, dst, su, sd), queue in self._net_queue.items():
+            if dst == dst_stage and queue.count > 0:
+                result[(su, sd)] = result.get((su, sd), 0.0) + queue.count
+        return result
+
+    def total_backlog(self) -> float:
+        return (
+            sum(q.count for q in self._gen_queue.values())
+            + sum(q.count for q in self._input_queue.values())
+            + sum(q.count for q in self._net_queue.values())
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation API (used by the scheduler / reconfiguration manager)
+    # ------------------------------------------------------------------ #
+
+    def suspend_stage(self, stage_name: str, until_s: float) -> None:
+        """Halt a stage's processing until ``until_s`` (state transition)."""
+        current = self._suspended_until.get(stage_name, 0.0)
+        self._suspended_until[stage_name] = max(current, until_s)
+
+    def suspended_until(self, stage_name: str) -> float:
+        return self._suspended_until.get(stage_name, 0.0)
+
+    def is_suspended(self, stage_name: str) -> bool:
+        return self._now_s < self._suspended_until.get(stage_name, 0.0)
+
+    def move_task_queue(
+        self, stage_name: str, from_site: str, to_site: str
+    ) -> None:
+        """Re-home queued input when a task migrates between sites.
+
+        The queued events travel with the state transfer; the engine moves
+        them instantaneously and relies on the transition suspension to
+        account for the time cost.
+        """
+        src = self._input_queue.get((stage_name, from_site))
+        if src is None or not src:
+            return
+        dst = self._queue(self._input_queue, (stage_name, to_site))
+        dst.push_parcels(src.pop(src.count))
+
+    def redirect_flows(self, stage_name: str, from_site: str, to_site: str) -> None:
+        """Repoint in-flight WAN queues targeting a migrated task."""
+        for key in list(self._net_queue):
+            src_stage, dst_stage, su, sd = key
+            if dst_stage != stage_name or sd != from_site:
+                continue
+            queue = self._net_queue.pop(key)
+            if not queue:
+                continue
+            target = self._queue(
+                self._net_queue, (src_stage, dst_stage, su, to_site)
+            )
+            target.push_parcels(queue.pop(queue.count))
+
+    def relay_queue(self, stage_name: str, from_site: str, to_site: str) -> None:
+        """Send a terminated task's queued input to a surviving task over the
+        WAN (scale-down: "relayed data streams", Section 4.2)."""
+        src = self._input_queue.get((stage_name, from_site))
+        if src is None or not src:
+            return
+        relay = self._queue(
+            self._net_queue, (stage_name, stage_name, from_site, to_site)
+        )
+        relay.push_parcels(src.pop(src.count))
+
+    def rehome_to_placement(
+        self,
+        stage_name: str,
+        bandwidth_rank: "Callable[[str, str], float] | None" = None,
+    ) -> None:
+        """Move queues destined for sites where the stage has no tasks.
+
+        After a re-plan or failure the stage's placement may no longer cover
+        every site holding queued input or expecting in-flight traffic; this
+        sweep re-homes those onto the stage's live sites (the one ranked
+        best by ``bandwidth_rank`` when provided, the lexicographically
+        first otherwise).
+        """
+        stage = self._plan.stages.get(stage_name)
+        if stage is None:
+            return
+        live = set(stage.placement())
+        if not live:
+            return
+
+        def target_for(orphan_site: str) -> str:
+            if bandwidth_rank is None:
+                return sorted(live)[0]
+            return max(
+                sorted(live), key=lambda s: bandwidth_rank(orphan_site, s)
+            )
+
+        for (name, site) in list(self._input_queue):
+            if name != stage_name or site in live:
+                continue
+            queue = self._input_queue.pop((name, site))
+            if queue:
+                # Queued input at a vacated site relays over the WAN to a
+                # live task (Section 4.2's "relayed data streams"); the
+                # relay flow pays for the link like any other traffic.
+                relay = self._queue(
+                    self._net_queue,
+                    (stage_name, stage_name, site, target_for(site)),
+                )
+                relay.push_parcels(queue.pop(queue.count))
+        for key in list(self._net_queue):
+            src_stage, dst_stage, su, sd = key
+            if dst_stage != stage_name or sd in live:
+                continue
+            queue = self._net_queue.pop(key)
+            if queue:
+                target = self._queue(
+                    self._net_queue, (src_stage, dst_stage, su, target_for(sd))
+                )
+                target.push_parcels(queue.pop(queue.count))
+
+    def inject_replay(
+        self, stage_name: str, site: str, events: float, gen_time_s: float
+    ) -> None:
+        """Queue events for re-processing after a failure recovery.
+
+        Work processed since the last local checkpoint is lost with the
+        failure and must be replayed from the upstream logs (Section 5's
+        checkpoint/restore semantics): it re-enters the stage's input queue
+        carrying its original generation time, so the recovery's delay cost
+        is measured honestly.
+        """
+        if events <= 0:
+            return
+        table = (
+            self._gen_queue
+            if self._plan.stages.get(stage_name) is not None
+            and self._plan.stages[stage_name].is_source
+            else self._input_queue
+        )
+        self._queue(table, (stage_name, site)).push(events, gen_time_s)
+
+    def replace_plan(self, new_plan: PhysicalPlan) -> None:
+        """Swap in a re-planned physical plan (Section 4.3).
+
+        Stages present in both plans (common sub-plans - same head operator
+        name) keep their input queues.  In-flight network queues are re-bound
+        to the new downstream of their source stage where possible and
+        dropped otherwise (the re-planner only removes stateless stages, so
+        no state is lost; the events are re-read from upstream queues in the
+        stateless case and re-counted as queued work).
+        """
+        old_plan = self._plan
+        surviving = set(new_plan.stages) & set(old_plan.stages)
+
+        # Input queues: keep for surviving stages, fold removed stages'
+        # queues back into the new consumer of their upstream output.
+        new_downstream_of: dict[str, list[str]] = {
+            name: [s.name for s in new_plan.downstream_stages(name)]
+            for name in new_plan.stages
+        }
+        for (stage_name, site) in list(self._input_queue):
+            if stage_name in surviving:
+                continue
+            queue = self._input_queue.pop((stage_name, site))
+            if not queue:
+                continue
+            # Feed the orphaned events to the first surviving upstream's new
+            # downstream, at the same site (they will be routed from there).
+            upstream = [
+                u.name
+                for u in old_plan.upstream_stages(stage_name)
+                if u.name in surviving
+            ]
+            heirs = new_downstream_of.get(upstream[0], []) if upstream else []
+            if heirs:
+                heir = heirs[0]
+                self._queue(self._input_queue, (heir, site)).push_parcels(
+                    queue.pop(queue.count)
+                )
+
+        for key in list(self._net_queue):
+            src_stage, dst_stage, su, sd = key
+            if src_stage in surviving and dst_stage in surviving:
+                # Edge may no longer exist; re-bind to the new downstream.
+                if dst_stage in new_downstream_of.get(src_stage, []):
+                    continue
+            queue = self._net_queue.pop(key)
+            if not queue:
+                continue
+            if src_stage in surviving:
+                heirs = new_downstream_of.get(src_stage, [])
+                if heirs:
+                    target = self._queue(
+                        self._net_queue, (src_stage, heirs[0], su, sd)
+                    )
+                    target.push_parcels(queue.pop(queue.count))
+
+        self._plan = new_plan
+        self._refresh_plan_constants()
+
+    # ------------------------------------------------------------------ #
+    # Tick
+    # ------------------------------------------------------------------ #
+
+    def tick(
+        self, link_budget: dict[tuple[str, str], float] | None = None
+    ) -> TickReport:
+        """Advance the engine by one tick; returns the tick's observations.
+
+        Args:
+            link_budget: Per-tick directed-link byte budgets.  Pass a dict
+                shared across several runtimes to make co-located queries
+                contend for the same WAN links (Section 3.2's "bandwidth
+                contention with other executions"); by default each tick
+                gets a private budget.
+        """
+        dt = self._config.tick_s
+        now = self._now_s + dt
+        report = TickReport(t_s=now)
+
+        if link_budget is None:
+            link_budget = {}
+
+        # 1. External generation.
+        for stage in self._plan.source_stages():
+            site = stage.pinned_site
+            if site is None:
+                raise SimulationError(
+                    f"source stage {stage.name!r} has no pinned site"
+                )
+            rate = self._workload.generation_eps(stage.name, now)
+            gen = rate * dt
+            if gen > 0:
+                # Events generated uniformly across the tick: mean age dt/2.
+                self._queue(self._gen_queue, (stage.name, site)).push(
+                    gen, now - dt / 2
+                )
+            report.offered += gen
+            report.offered_by_source[stage.name] = gen
+
+        # 2. Stage execution in topological order, transferring each stage's
+        # outgoing flows immediately so downstream stages can consume them
+        # within the same tick (sub-tick pipelining).
+        for stage in self._plan.topological_stages():
+            self._run_stage(stage, now, dt, report)
+            self._transfer_stage_flows(stage, now, dt, link_budget, report)
+
+        # Relay flows (scale-down) originate from stages to themselves and
+        # were handled inside _transfer_stage_flows via the same net queues.
+
+        # 3. Record end-of-tick backlogs.
+        for (stage_name, site), queue in self._input_queue.items():
+            if queue.count > 0:
+                report.input_backlog[(stage_name, site)] = queue.count
+        for (stage_name, site), queue in self._gen_queue.items():
+            if queue.count > 0:
+                key = (stage_name, site)
+                report.input_backlog[key] = (
+                    report.input_backlog.get(key, 0.0) + queue.count
+                )
+        for key, queue in self._net_queue.items():
+            if queue.count > 0:
+                report.net_backlog[key] = queue.count
+
+        self._now_s = now
+        self.last_report = report
+        return report
+
+    # -------------------------- stage execution ------------------------ #
+
+    def _stage_capacity_eps(self, stage: Stage, site: str) -> float:
+        """Events/s the stage's tasks at ``site`` can process right now."""
+        if self.is_suspended(stage.name):
+            return 0.0
+        site_obj = self._topology.site(site)
+        if site_obj.failed:
+            return 0.0
+        n_tasks = sum(1 for t in stage.tasks if t.site == site)
+        return n_tasks * site_obj.effective_proc_rate_eps / stage.cost
+
+    def _run_stage(
+        self, stage: Stage, now: float, dt: float, report: TickReport
+    ) -> None:
+        table = self._gen_queue if stage.is_source else self._input_queue
+        placement = stage.placement()
+        for site in sorted(placement):
+            queue = self._queue(table, (stage.name, site))
+            if self._degrade_slo_s is not None:
+                dropped = queue.drop_older_than(now - self._degrade_slo_s)
+                if dropped > 0:
+                    report.dropped_source_equiv += self._to_source_equiv(
+                        stage.name, dropped
+                    )
+            capacity = self._stage_capacity_eps(stage, site) * dt
+            arrived_here = queue.count  # includes prior backlog
+            parcels = queue.pop(capacity)
+            processed = parcels_total(parcels)
+            del arrived_here
+            if processed <= 0:
+                report.capacity_by_site[(stage.name, site)] = capacity
+                continue
+            report.processed[stage.name] = (
+                report.processed.get(stage.name, 0.0) + processed
+            )
+            report.processed_by_site[(stage.name, site)] = processed
+            report.capacity_by_site[(stage.name, site)] = capacity
+
+            out_parcels = scale_parcels(parcels, stage.selectivity)
+            emitted = parcels_total(out_parcels)
+            if stage.is_sink:
+                report.sink_events += emitted
+                report.sink_delay_weighted_s += sum(
+                    p.count * (now - p.gen_time_s) for p in out_parcels
+                )
+                continue
+            report.emitted[stage.name] = (
+                report.emitted.get(stage.name, 0.0) + emitted
+            )
+            self._route_output(stage, site, out_parcels, report)
+
+    def _route_output(
+        self,
+        stage: Stage,
+        src_site: str,
+        out_parcels: list[Parcel],
+        report: TickReport,
+    ) -> None:
+        """Partition a stage's per-site output across downstream tasks.
+
+        Balanced event partitioning (Section 7): each downstream stage
+        receives the full stream, split across its tasks in proportion to
+        tasks per site.
+        """
+        for down in self._plan.downstream_stages(stage.name):
+            placement = down.placement()
+            total_tasks = sum(placement.values())
+            if total_tasks == 0:
+                # Downstream not deployed (transient during adaptation):
+                # keep the events at the sender by re-queueing them into the
+                # queue this stage reads from, to be re-emitted next tick.
+                table = self._gen_queue if stage.is_source else self._input_queue
+                self._queue(table, (stage.name, src_site)) \
+                    .push_parcels(out_parcels)
+                continue
+            for dst_site in sorted(placement):
+                fraction = placement[dst_site] / total_tasks
+                share = scale_parcels(out_parcels, fraction)
+                if not share:
+                    continue
+                if dst_site == src_site:
+                    self._queue(
+                        self._input_queue, (down.name, dst_site)
+                    ).push_parcels(share)
+                    report.arrived[down.name] = (
+                        report.arrived.get(down.name, 0.0)
+                        + parcels_total(share)
+                    )
+                else:
+                    self._queue(
+                        self._net_queue,
+                        (stage.name, down.name, src_site, dst_site),
+                    ).push_parcels(share)
+
+    def _transfer_stage_flows(
+        self,
+        stage: Stage,
+        now: float,
+        dt: float,
+        link_budget: dict[tuple[str, str], float],
+        report: TickReport,
+    ) -> None:
+        """Move this stage's outgoing WAN queues within link budgets."""
+        event_bytes = stage.output_event_bytes
+        flow_keys = [
+            key for key in self._net_queue if key[0] == stage.name
+        ]
+        # Deterministic order; FCFS link sharing across flows.
+        for key in sorted(flow_keys):
+            _, dst_stage, src_site, dst_site = key
+            queue = self._net_queue[key]
+            if not queue:
+                continue
+            if self._degrade_slo_s is not None:
+                dropped = queue.drop_older_than(now - self._degrade_slo_s)
+                if dropped > 0:
+                    report.dropped_source_equiv += self._to_source_equiv(
+                        dst_stage, dropped
+                    )
+                if not queue:
+                    continue
+            link = (src_site, dst_site)
+            if link not in link_budget:
+                link_budget[link] = (
+                    self._topology.bandwidth_mbps(src_site, dst_site)
+                    * MBIT_BYTES
+                    * dt
+                )
+            budget_events = link_budget[link] / event_bytes
+            if budget_events <= 0:
+                continue
+            parcels = queue.pop(budget_events)
+            moved = parcels_total(parcels)
+            if moved <= 0:
+                continue
+            link_budget[link] -= moved * event_bytes
+            latency_s = self._topology.latency_ms(src_site, dst_site) / 1000.0
+            delivered = age_parcels(parcels, latency_s)
+            self._queue(self._input_queue, (dst_stage, dst_site)) \
+                .push_parcels(delivered)
+            report.net_sent[key] = report.net_sent.get(key, 0.0) + moved
+            report.arrived[dst_stage] = (
+                report.arrived.get(dst_stage, 0.0) + moved
+            )
+
+    # -------------------------- conversions ---------------------------- #
+
+    def _to_source_equiv(self, stage_name: str, events: float) -> float:
+        """Convert events observed at a stage input into source events."""
+        return events * self._stage_equiv_factor.get(stage_name, 1.0)
+
+    def to_source_equivalents(self, stage_name: str, events: float) -> float:
+        """Public conversion: stage-input events -> source events."""
+        return self._to_source_equiv(stage_name, events)
+
+    def sink_source_equiv(self, sink_events: float) -> float:
+        """Convert sink emissions into source-equivalents (Section 8.3)."""
+        return sink_events / self._plan_selectivity
+
+
+class WorkloadModel:
+    """Minimal interface the engine requires of a workload.
+
+    Concrete workloads live in :mod:`repro.workloads`; this base class exists
+    so the engine module does not import them (no circular dependency) and so
+    tests can plug in trivial constant-rate workloads.
+    """
+
+    def generation_eps(self, source_stage: str, t_s: float) -> float:
+        """Raw events/second generated at the given source stage."""
+        raise NotImplementedError

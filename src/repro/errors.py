@@ -1,0 +1,76 @@
+"""Exception hierarchy for the WASP reproduction.
+
+Every error raised by this package derives from :class:`WaspError` so callers
+can catch the whole family with a single ``except`` clause.  Sub-classes are
+grouped by the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class WaspError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(WaspError):
+    """An invalid configuration value was supplied."""
+
+
+class TopologyError(WaspError):
+    """The WAN topology was queried or mutated inconsistently."""
+
+
+class UnknownSiteError(TopologyError):
+    """A site name does not exist in the topology."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"unknown site: {site!r}")
+        self.site = site
+
+
+class PlanError(WaspError):
+    """A logical or physical plan is malformed."""
+
+
+class CycleError(PlanError):
+    """A logical plan contains a cycle (plans must be DAGs)."""
+
+
+class PlacementError(WaspError):
+    """The WAN-aware placement ILP could not be solved."""
+
+
+class InfeasiblePlacementError(PlacementError):
+    """No task placement satisfies the bandwidth/slot constraints (Eq. 2-5)."""
+
+
+class SchedulingError(WaspError):
+    """The scheduler could not deploy or redeploy a physical plan."""
+
+
+class InsufficientSlotsError(SchedulingError):
+    """Not enough computing slots are available for a deployment."""
+
+
+class StateError(WaspError):
+    """Operator state was accessed or migrated inconsistently."""
+
+
+class CheckpointError(StateError):
+    """A checkpoint could not be taken or restored."""
+
+
+class MigrationError(StateError):
+    """A state migration plan could not be constructed or executed."""
+
+
+class AdaptationError(WaspError):
+    """The reconfiguration manager failed to apply an adaptation action."""
+
+
+class ReplanningError(AdaptationError):
+    """No safe alternative plan exists (e.g. incompatible stateful sub-plans)."""
+
+
+class SimulationError(WaspError):
+    """The simulation kernel was driven into an invalid configuration."""

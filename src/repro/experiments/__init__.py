@@ -1,0 +1,20 @@
+"""Experiment harness and the Section-8 scenario builders."""
+
+from .harness import (
+    DynamicsSpec,
+    ExperimentRun,
+    FailureEvent,
+    StragglerEvent,
+    run_variants,
+)
+from .multiquery import MultiQueryRun, QuerySubmission
+
+__all__ = [
+    "DynamicsSpec",
+    "ExperimentRun",
+    "FailureEvent",
+    "MultiQueryRun",
+    "QuerySubmission",
+    "StragglerEvent",
+    "run_variants",
+]

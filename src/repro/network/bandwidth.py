@@ -1,0 +1,120 @@
+"""Stochastic WAN-bandwidth processes.
+
+Figure 2 of the paper shows a one-day iperf measurement between the Oregon
+and Ohio EC2 regions sampled every 5 minutes: the available bandwidth hovers
+around a mean with deviations of 25-93 % and occasional deep dips, consistent
+with inter-data-center topology changes every 5-10 minutes reported by B4 and
+SWAN.  :class:`BandwidthProcess` reproduces those statistics with a
+mean-reverting (AR(1)) process plus a heavy-tailed jump term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BandwidthStats:
+    """Summary statistics of a bandwidth trace (used to validate Figure 2)."""
+
+    mean_mbps: float
+    min_mbps: float
+    max_mbps: float
+    min_deviation: float
+    max_deviation: float
+
+    @classmethod
+    def from_trace(cls, trace: np.ndarray) -> "BandwidthStats":
+        mean = float(np.mean(trace))
+        deviations = np.abs(trace - mean) / mean
+        return cls(
+            mean_mbps=mean,
+            min_mbps=float(np.min(trace)),
+            max_mbps=float(np.max(trace)),
+            min_deviation=float(np.min(deviations)),
+            max_deviation=float(np.max(deviations)),
+        )
+
+
+class BandwidthProcess:
+    """Mean-reverting bandwidth process with occasional contention dips.
+
+    The process evolves as ``b[t+1] = mean + phi * (b[t] - mean) + noise``
+    with ``phi`` controlling how sticky the current level is, plus a dip term
+    that occasionally drags the link down to a fraction of its mean,
+    modelling cross-traffic contention and topology reconfiguration.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_mbps: float,
+        *,
+        phi: float = 0.75,
+        sigma_frac: float = 0.22,
+        dip_probability: float = 0.06,
+        dip_depth: float = 0.75,
+        floor_frac: float = 0.05,
+    ) -> None:
+        if mean_mbps <= 0:
+            raise ConfigurationError(f"mean_mbps must be > 0, got {mean_mbps}")
+        if not 0 <= phi < 1:
+            raise ConfigurationError(f"phi must be in [0, 1), got {phi}")
+        if not 0 <= dip_probability <= 1:
+            raise ConfigurationError(
+                f"dip_probability must be in [0, 1], got {dip_probability}"
+            )
+        if not 0 < dip_depth < 1:
+            raise ConfigurationError(f"dip_depth must be in (0, 1), got {dip_depth}")
+        self._rng = rng
+        self._mean = float(mean_mbps)
+        self._phi = float(phi)
+        self._sigma = float(sigma_frac) * self._mean
+        self._dip_probability = float(dip_probability)
+        self._dip_depth = float(dip_depth)
+        self._floor = float(floor_frac) * self._mean
+        self._value = self._mean
+
+    @property
+    def mean_mbps(self) -> float:
+        return self._mean
+
+    @property
+    def value_mbps(self) -> float:
+        """Current available bandwidth."""
+        return self._value
+
+    def step(self) -> float:
+        """Advance one measurement interval and return the new bandwidth."""
+        noise = self._rng.normal(0.0, self._sigma)
+        value = self._mean + self._phi * (self._value - self._mean) + noise
+        if self._rng.random() < self._dip_probability:
+            value -= self._dip_depth * self._mean * self._rng.random()
+        self._value = float(np.clip(value, self._floor, 2.0 * self._mean))
+        return self._value
+
+    def trace(self, samples: int) -> np.ndarray:
+        """Generate ``samples`` consecutive measurements."""
+        if samples < 1:
+            raise ConfigurationError(f"samples must be >= 1, got {samples}")
+        return np.array([self.step() for _ in range(samples)])
+
+
+def oregon_ohio_trace(
+    rng: np.random.Generator, *, samples: int = 288, mean_mbps: float = 110.0
+) -> np.ndarray:
+    """A Figure-2-like one-day trace (288 five-minute samples by default)."""
+    process = BandwidthProcess(rng, mean_mbps)
+    return process.trace(samples)
+
+
+def thirty_minute_rollup(trace_5min: np.ndarray) -> np.ndarray:
+    """Average a 5-minute trace into 30-minute intervals (Figure 2's x-axis)."""
+    usable = len(trace_5min) - len(trace_5min) % 6
+    if usable == 0:
+        return np.array([])
+    return trace_5min[:usable].reshape(-1, 6).mean(axis=1)

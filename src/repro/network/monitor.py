@@ -1,0 +1,112 @@
+"""WAN Monitor: periodic background measurement of inter-site links.
+
+The WASP prototype adds "a network monitoring module (WAN Monitor) that
+periodically monitors the pair-wise available [bandwidth] between sites in
+the background" (Section 8.1).  The controller plans against these
+*measurements*, never the ground truth - the measurement can be stale (it
+refreshes only once per monitoring interval) and noisy (a configurable
+relative error), which is exactly the mis-estimation the alpha headroom of
+the placement ILP exists to absorb (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class LinkMeasurement:
+    """One measured sample of a directed link."""
+
+    src: str
+    dst: str
+    bandwidth_mbps: float
+    latency_ms: float
+    measured_at_s: float
+
+
+class WanMonitor:
+    """Measures pairwise bandwidth/latency with optional noise and staleness.
+
+    Args:
+        topology: Ground-truth topology to observe.
+        rng: Stream for measurement noise.
+        relative_error: Multiplicative error bound; each measurement is the
+            true value times a factor uniform in [1-e, 1+e].
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        *,
+        relative_error: float = 0.0,
+    ) -> None:
+        if relative_error < 0 or relative_error >= 1:
+            raise ConfigurationError(
+                f"relative_error must be in [0, 1), got {relative_error}"
+            )
+        self._topology = topology
+        self._rng = rng
+        self._relative_error = float(relative_error)
+        self._measurements: dict[tuple[str, str], LinkMeasurement] = {}
+        self._last_refresh_s = float("-inf")
+
+    @property
+    def last_refresh_s(self) -> float:
+        return self._last_refresh_s
+
+    def refresh(self, now_s: float) -> None:
+        """Re-measure every defined link (one monitoring round)."""
+        for link in self._topology.links():
+            noise = 1.0
+            if self._relative_error > 0:
+                noise = self._rng.uniform(
+                    1.0 - self._relative_error, 1.0 + self._relative_error
+                )
+            self._measurements[(link.src, link.dst)] = LinkMeasurement(
+                src=link.src,
+                dst=link.dst,
+                bandwidth_mbps=link.bandwidth_mbps * noise,
+                latency_ms=link.latency_ms,
+                measured_at_s=now_s,
+            )
+        self._last_refresh_s = now_s
+
+    def bandwidth_mbps(self, src: str, dst: str) -> float:
+        """Most recent bandwidth measurement for ``src -> dst``.
+
+        Intra-site transfers report the topology's local capacity directly.
+        Falls back to a fresh ground-truth read if the link has never been
+        measured (i.e. before the first monitoring round).
+        """
+        if src == dst:
+            return self._topology.bandwidth_mbps(src, dst)
+        sample = self._measurements.get((src, dst))
+        if sample is None:
+            return self._topology.bandwidth_mbps(src, dst)
+        return sample.bandwidth_mbps
+
+    def latency_ms(self, src: str, dst: str) -> float:
+        """Most recent latency measurement for ``src -> dst``."""
+        if src == dst:
+            return self._topology.latency_ms(src, dst)
+        sample = self._measurements.get((src, dst))
+        if sample is None:
+            return self._topology.latency_ms(src, dst)
+        return sample.latency_ms
+
+    def measurement(self, src: str, dst: str) -> LinkMeasurement | None:
+        return self._measurements.get((src, dst))
+
+    def bandwidth_matrix(self) -> dict[tuple[str, str], float]:
+        """Measured bandwidth for every known link."""
+        return {
+            key: sample.bandwidth_mbps
+            for key, sample in self._measurements.items()
+        }

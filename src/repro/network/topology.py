@@ -1,0 +1,175 @@
+"""WAN topology: sites plus pairwise bandwidth/latency matrices.
+
+The topology keeps *base* link capacities (as measured when the testbed was
+built) separate from the *current* capacities, which are the base values
+multiplied by per-link dynamic factors.  The dynamics driver mutates only the
+factors, so restoring a link (e.g. Section 8.4's bandwidth restore at
+t=1200) is exact.
+
+Intra-site transfers are modelled as effectively free: the paper's
+bottlenecks are inter-site WAN links, and tasks co-located with their
+upstream exchange data over the local network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import TopologyError, UnknownSiteError
+from .site import Site, SiteKind
+
+#: Effective bandwidth used for intra-site (local) transfers, in Mbps.
+LOCAL_BANDWIDTH_MBPS = 100_000.0
+#: Effective latency for intra-site transfers, in milliseconds.
+LOCAL_LATENCY_MS = 0.5
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed WAN link with its current capacity and latency."""
+
+    src: str
+    dst: str
+    bandwidth_mbps: float
+    latency_ms: float
+
+
+class Topology:
+    """Mutable WAN topology over a fixed set of sites.
+
+    Bandwidth and latency are directional: ``bandwidth("a", "b")`` is the
+    capacity from ``a`` to ``b`` (the paper's ``B^{s2}_{s1}``).
+    """
+
+    def __init__(self, sites: Iterable[Site]) -> None:
+        self._sites: dict[str, Site] = {}
+        for site in sites:
+            if site.name in self._sites:
+                raise TopologyError(f"duplicate site name: {site.name!r}")
+            self._sites[site.name] = site
+        self._base_bandwidth: dict[tuple[str, str], float] = {}
+        self._base_latency: dict[tuple[str, str], float] = {}
+        self._factors: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sites
+    # ------------------------------------------------------------------ #
+
+    def site(self, name: str) -> Site:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise UnknownSiteError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def __iter__(self) -> Iterator[Site]:
+        return iter(self._sites.values())
+
+    @property
+    def site_names(self) -> list[str]:
+        return list(self._sites)
+
+    def sites_of_kind(self, kind: SiteKind) -> list[Site]:
+        return [s for s in self._sites.values() if s.kind is kind]
+
+    def available_slots(self) -> dict[str, int]:
+        """``A[s]`` for every site (0 for failed sites)."""
+        return {name: s.available_slots for name, s in self._sites.items()}
+
+    def total_used_slots(self) -> int:
+        return sum(s.used_slots for s in self._sites.values())
+
+    # ------------------------------------------------------------------ #
+    # Links
+    # ------------------------------------------------------------------ #
+
+    def set_link(
+        self, src: str, dst: str, bandwidth_mbps: float, latency_ms: float
+    ) -> None:
+        """Define (or redefine) the base capacity of a directed link."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            raise TopologyError("cannot define a link from a site to itself")
+        if bandwidth_mbps <= 0:
+            raise TopologyError(
+                f"link {src}->{dst}: bandwidth must be > 0, got {bandwidth_mbps}"
+            )
+        if latency_ms < 0:
+            raise TopologyError(
+                f"link {src}->{dst}: latency must be >= 0, got {latency_ms}"
+            )
+        self._base_bandwidth[(src, dst)] = float(bandwidth_mbps)
+        self._base_latency[(src, dst)] = float(latency_ms)
+
+    def bandwidth_mbps(self, src: str, dst: str) -> float:
+        """Current capacity of the ``src -> dst`` link in Mbps."""
+        if src == dst:
+            return LOCAL_BANDWIDTH_MBPS
+        base = self._base_bandwidth.get((src, dst))
+        if base is None:
+            self._require(src)
+            self._require(dst)
+            raise TopologyError(f"no link defined from {src!r} to {dst!r}")
+        return base * self._factors.get((src, dst), 1.0)
+
+    def latency_ms(self, src: str, dst: str) -> float:
+        """Current one-way latency of the ``src -> dst`` link in ms."""
+        if src == dst:
+            return LOCAL_LATENCY_MS
+        latency = self._base_latency.get((src, dst))
+        if latency is None:
+            self._require(src)
+            self._require(dst)
+            raise TopologyError(f"no link defined from {src!r} to {dst!r}")
+        return latency
+
+    def links(self) -> list[Link]:
+        """All directed links with their *current* capacities."""
+        return [
+            Link(src, dst, self.bandwidth_mbps(src, dst), self.latency_ms(src, dst))
+            for (src, dst) in sorted(self._base_bandwidth)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+
+    def set_bandwidth_factor(self, src: str, dst: str, factor: float) -> None:
+        """Scale one directed link's capacity relative to its base value."""
+        if factor < 0:
+            raise TopologyError(f"bandwidth factor must be >= 0, got {factor}")
+        if (src, dst) not in self._base_bandwidth:
+            raise TopologyError(f"no link defined from {src!r} to {dst!r}")
+        self._factors[(src, dst)] = float(factor)
+
+    def set_global_bandwidth_factor(self, factor: float) -> None:
+        """Scale every link (Section 8.4 halves all links at t=900)."""
+        if factor < 0:
+            raise TopologyError(f"bandwidth factor must be >= 0, got {factor}")
+        for key in self._base_bandwidth:
+            self._factors[key] = float(factor)
+
+    def bandwidth_factor(self, src: str, dst: str) -> float:
+        return self._factors.get((src, dst), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _require(self, name: str) -> None:
+        if name not in self._sites:
+            raise UnknownSiteError(name)
+
+    def fully_connected(self) -> bool:
+        """True if every ordered site pair has a defined link."""
+        names = self.site_names
+        return all(
+            (a, b) in self._base_bandwidth
+            for a in names
+            for b in names
+            if a != b
+        )

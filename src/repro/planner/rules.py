@@ -1,0 +1,181 @@
+"""Environment-independent logical plan rewrites.
+
+Before evaluating placement-dependent alternatives, the Query Planner
+applies rewrites that are beneficial regardless of the runtime environment,
+"similar to query optimization in the context of RDBMS (e.g., pushing filter
+operation upstream)" (Section 4.3).  Each rule is a pure function
+``LogicalPlan -> LogicalPlan`` returning a new plan (the input is never
+mutated); :func:`optimize` applies all rules to a fixed point.
+
+Without per-attribute schemas, the rules implemented here are the structural
+ones that are safe universally:
+
+* **filter-below-union** - a filter consuming a union distributes to each
+  union input, reducing the rate crossing the (potentially wide-area) link
+  into the union;
+* **merge-consecutive-filters** - adjacent filters fuse into one with the
+  product selectivity;
+* **prune-noop-maps** - identity maps (selectivity 1, no size change) that
+  merely relay events are removed.
+
+Pushing filters into *source* stages is handled by operator chaining in the
+physical plan (:mod:`repro.engine.physical`), so a filter adjacent to a
+source already executes inside the source's site.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..engine.logical import LogicalPlan
+from ..engine.operators import OperatorKind, OperatorSpec
+
+Rule = Callable[[LogicalPlan], LogicalPlan]
+
+
+def _rebuild(
+    plan: LogicalPlan,
+    operators: dict[str, OperatorSpec],
+    edges: list[tuple[str, str]],
+) -> LogicalPlan:
+    return LogicalPlan.from_edges(plan.name, operators.values(), edges)
+
+
+def push_filter_below_union(plan: LogicalPlan) -> LogicalPlan:
+    """Rewrite ``union -> filter`` into per-branch filters feeding the union.
+
+    The filter must be the union's only consumer-side transformation (single
+    upstream) and stateless; one clone is created per union input.
+    """
+    for op in plan.topological():
+        if op.kind is not OperatorKind.FILTER or op.stateful:
+            continue
+        upstream = plan.upstream(op.name)
+        if len(upstream) != 1 or upstream[0].kind is not OperatorKind.UNION:
+            continue
+        union_op = upstream[0]
+        # Only safe if the filter is the union's sole consumer; otherwise
+        # other consumers would see filtered data.
+        if len(plan.downstream(union_op.name)) != 1:
+            continue
+
+        operators = dict(plan.operators)
+        edges = [e for e in plan.edges]
+        union_inputs = [u.name for u in plan.upstream(union_op.name)]
+        # Remove old edges: inputs -> union, union -> filter.
+        edges = [
+            e
+            for e in edges
+            if e not in {(u, union_op.name) for u in union_inputs}
+            and e != (union_op.name, op.name)
+        ]
+        # The union now feeds the filter's consumers directly.
+        filter_consumers = [d.name for d in plan.downstream(op.name)]
+        edges = [e for e in edges if e[0] != op.name]
+        for consumer in filter_consumers:
+            edges.append((union_op.name, consumer))
+        # Clone the filter onto each branch.
+        del operators[op.name]
+        for i, branch in enumerate(union_inputs):
+            clone = OperatorSpec(
+                name=f"{op.name}@{branch}",
+                kind=OperatorKind.FILTER,
+                selectivity=op.selectivity,
+                cost=op.cost,
+                event_bytes=op.event_bytes,
+            )
+            operators[clone.name] = clone
+            edges.append((branch, clone.name))
+            edges.append((clone.name, union_op.name))
+        return _rebuild(plan, operators, edges)
+    return plan
+
+
+def merge_consecutive_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Fuse ``filter -> filter`` chains into a single filter."""
+    for op in plan.topological():
+        if op.kind is not OperatorKind.FILTER:
+            continue
+        downstream = plan.downstream(op.name)
+        if len(downstream) != 1:
+            continue
+        succ = downstream[0]
+        if succ.kind is not OperatorKind.FILTER:
+            continue
+        if len(plan.upstream(succ.name)) != 1:
+            continue
+        operators = dict(plan.operators)
+        edges = list(plan.edges)
+        merged = OperatorSpec(
+            name=op.name,
+            kind=OperatorKind.FILTER,
+            selectivity=op.selectivity * succ.selectivity,
+            cost=op.cost + succ.cost * op.selectivity,
+            event_bytes=succ.event_bytes,
+        )
+        operators[op.name] = merged
+        del operators[succ.name]
+        new_edges = []
+        for src, dst in edges:
+            if (src, dst) == (op.name, succ.name):
+                continue
+            if src == succ.name:
+                new_edges.append((op.name, dst))
+            else:
+                new_edges.append((src, dst))
+        return _rebuild(plan, operators, new_edges)
+    return plan
+
+
+def prune_noop_maps(plan: LogicalPlan) -> LogicalPlan:
+    """Remove identity maps: selectivity 1 whose output size equals input.
+
+    A map is a no-op relay when it neither filters nor changes event size;
+    its upstreams connect directly to its downstreams.
+    """
+    for op in plan.topological():
+        if op.kind is not OperatorKind.MAP or op.stateful:
+            continue
+        if op.selectivity != 1.0:
+            continue
+        upstream = plan.upstream(op.name)
+        if len(upstream) != 1:
+            continue
+        if abs(upstream[0].event_bytes - op.event_bytes) > 1e-9:
+            continue
+        operators = dict(plan.operators)
+        del operators[op.name]
+        edges = []
+        for src, dst in plan.edges:
+            if dst == op.name:
+                continue
+            if src == op.name:
+                edges.append((upstream[0].name, dst))
+            else:
+                edges.append((src, dst))
+        edges = list(dict.fromkeys(edges))
+        return _rebuild(plan, operators, edges)
+    return plan
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    push_filter_below_union,
+    merge_consecutive_filters,
+    prune_noop_maps,
+)
+
+
+def optimize(plan: LogicalPlan, rules: tuple[Rule, ...] = ALL_RULES,
+             max_passes: int = 20) -> LogicalPlan:
+    """Apply all rules to a fixed point (bounded by ``max_passes``)."""
+    current = plan
+    for _ in range(max_passes):
+        changed = False
+        for rule in rules:
+            rewritten = rule(current)
+            if rewritten is not current:
+                current = rewritten
+                changed = True
+        if not changed:
+            break
+    return current

@@ -1,0 +1,16 @@
+"""Simulation kernel: clock, RNG streams, schedules, recording."""
+
+from .clock import SimClock
+from .recorder import AdaptationEvent, RunRecorder, TickSample
+from .rng import RngRegistry
+from .schedule import Breakpoint, Schedule
+
+__all__ = [
+    "AdaptationEvent",
+    "Breakpoint",
+    "RngRegistry",
+    "RunRecorder",
+    "Schedule",
+    "SimClock",
+    "TickSample",
+]

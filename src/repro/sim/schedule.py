@@ -1,0 +1,104 @@
+"""Time-varying factor schedules used by the dynamics driver.
+
+Section 8.4 drives experiments with piecewise-constant factors ("increase the
+rate to 20,000 events/second at t=300"), Section 8.5 with factor vectors per
+interval, and Section 8.6 with trace-like random variations bounded to a
+range.  :class:`Schedule` covers all three shapes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """A (time, factor) pair; the factor holds until the next breakpoint."""
+
+    t_s: float
+    factor: float
+
+
+class Schedule:
+    """Piecewise-constant factor of simulated time.
+
+    The schedule starts at ``factor(0) = initial`` unless a breakpoint at
+    ``t = 0`` overrides it.
+    """
+
+    def __init__(
+        self, breakpoints: list[tuple[float, float]] | None = None, initial: float = 1.0
+    ) -> None:
+        points = sorted(breakpoints or [])
+        times = [t for t, _ in points]
+        if len(set(times)) != len(times):
+            raise SimulationError("schedule breakpoints must have unique times")
+        if any(t < 0 for t in times):
+            raise SimulationError("schedule breakpoints must be at t >= 0")
+        if any(f < 0 for _, f in points):
+            raise SimulationError("schedule factors must be >= 0")
+        self._times = times
+        self._factors = [f for _, f in points]
+        self._initial = float(initial)
+
+    def factor(self, t_s: float) -> float:
+        """Return the factor in effect at time ``t_s``."""
+        idx = bisect.bisect_right(self._times, t_s) - 1
+        if idx < 0:
+            return self._initial
+        return self._factors[idx]
+
+    def breakpoints(self) -> list[Breakpoint]:
+        return [Breakpoint(t, f) for t, f in zip(self._times, self._factors)]
+
+    @classmethod
+    def constant(cls, factor: float = 1.0) -> "Schedule":
+        return cls([], initial=factor)
+
+    @classmethod
+    def steps(cls, step_s: float, factors: list[float]) -> "Schedule":
+        """Equal-length intervals with the given factors (Section 8.5 style).
+
+        ``factors=[1, 2, 2, 1, 1]`` with ``step_s=300`` reproduces the
+        workload vector of the technique-comparison experiment.
+        """
+        if step_s <= 0:
+            raise SimulationError(f"step_s must be > 0, got {step_s}")
+        return cls([(i * step_s, f) for i, f in enumerate(factors)])
+
+    @classmethod
+    def random_walk(
+        cls,
+        rng: np.random.Generator,
+        duration_s: float,
+        interval_s: float,
+        low: float,
+        high: float,
+    ) -> "Schedule":
+        """Bounded random factors redrawn every ``interval_s`` (Section 8.6).
+
+        Each interval's factor is drawn from a mean-reverting walk clipped to
+        [low, high], mimicking the live bandwidth/workload variation traces
+        (bandwidth factor 0.51-2.36, workload factor 0.8-2.4).
+        """
+        if not 0 < low <= high:
+            raise SimulationError(f"need 0 < low <= high, got {low}, {high}")
+        if interval_s <= 0 or duration_s <= 0:
+            raise SimulationError("duration_s and interval_s must be > 0")
+        mid = (low + high) / 2.0
+        span = (high - low) / 2.0
+        value = mid
+        points: list[tuple[float, float]] = []
+        t = 0.0
+        while t < duration_s:
+            # Mean-revert towards mid, then perturb; clip to the target band.
+            value = mid + 0.6 * (value - mid) + rng.normal(0.0, 0.45 * span)
+            value = float(np.clip(value, low, high))
+            points.append((t, value))
+            t += interval_s
+        return cls(points)

@@ -1,0 +1,27 @@
+"""Workload models and the Table-3 benchmark queries."""
+
+from .base import ShapedWorkload
+from .queries import (
+    BenchmarkQuery,
+    Table3Row,
+    all_queries,
+    events_of_interest,
+    topk_topics,
+    ysb_advertising,
+)
+from .twitter import TwitterSpec, TwitterWorkload
+from .ysb import YsbSpec, YsbWorkload
+
+__all__ = [
+    "BenchmarkQuery",
+    "ShapedWorkload",
+    "Table3Row",
+    "TwitterSpec",
+    "TwitterWorkload",
+    "YsbSpec",
+    "YsbWorkload",
+    "all_queries",
+    "events_of_interest",
+    "topk_topics",
+    "ysb_advertising",
+]

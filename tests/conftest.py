@@ -1,0 +1,56 @@
+"""Shared fixtures for the WASP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import WaspConfig
+from repro.network.site import Site, SiteKind
+from repro.network.topology import Topology
+from repro.network.traces import paper_testbed
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def config() -> WaspConfig:
+    return WaspConfig.paper_defaults()
+
+
+@pytest.fixture
+def small_topology() -> Topology:
+    """Three sites with simple, hand-picked links.
+
+    edge-x --(10 Mbps, 50 ms)--> dc-1 --(100 Mbps, 20 ms)--> dc-2
+    plus the reverse directions and the edge-x <-> dc-2 diagonal.
+    """
+    topo = Topology(
+        [
+            Site("edge-x", SiteKind.EDGE, 4),
+            Site("dc-1", SiteKind.DATA_CENTER, 8),
+            Site("dc-2", SiteKind.DATA_CENTER, 8),
+        ]
+    )
+    topo.set_link("edge-x", "dc-1", 10.0, 50.0)
+    topo.set_link("dc-1", "edge-x", 10.0, 50.0)
+    topo.set_link("dc-1", "dc-2", 100.0, 20.0)
+    topo.set_link("dc-2", "dc-1", 100.0, 20.0)
+    topo.set_link("edge-x", "dc-2", 5.0, 70.0)
+    topo.set_link("dc-2", "edge-x", 5.0, 70.0)
+    return topo
+
+
+@pytest.fixture
+def testbed(rngs: RngRegistry) -> Topology:
+    """The paper's 16-node testbed (seeded)."""
+    return paper_testbed(rngs.stream("topology"))

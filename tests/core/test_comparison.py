@@ -1,0 +1,65 @@
+"""Tests for repro.core.comparison - Table 2."""
+
+import pytest
+
+from repro.core.comparison import (
+    TABLE_2,
+    Applicability,
+    Granularity,
+    Overhead,
+    profile,
+    render_table,
+)
+
+
+class TestTable2Contents:
+    def test_four_techniques(self):
+        assert len(TABLE_2) == 4
+
+    def test_reassignment_row(self):
+        row = profile("task re-assignment")
+        assert row.applicability is Applicability.GENERAL
+        assert row.granularity is Granularity.STAGE
+        assert row.overhead is Overhead.LOW
+        assert not row.quality_reduction
+
+    def test_scaling_row(self):
+        row = profile("operator scaling")
+        assert row.applicability is Applicability.GENERAL
+        assert not row.quality_reduction
+
+    def test_replanning_row(self):
+        row = profile("query re-planning")
+        assert row.applicability is Applicability.QUERY_SPECIFIC
+        assert row.granularity is Granularity.QUERY
+        assert row.overhead is Overhead.HIGH
+        assert not row.quality_reduction
+
+    def test_degradation_is_the_only_quality_reducer(self):
+        reducers = [row for row in TABLE_2 if row.quality_reduction]
+        assert [r.technique for r in reducers] == ["Data Degradation"]
+
+    def test_only_replanning_has_query_granularity(self):
+        rows = [r for r in TABLE_2 if r.granularity is Granularity.QUERY]
+        assert [r.technique for r in rows] == ["Query Re-Planning"]
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(KeyError):
+            profile("magic")
+
+    def test_lookup_case_insensitive(self):
+        assert profile("TASK").technique == "Task Re-Assignment"
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self):
+        text = render_table()
+        for row in TABLE_2:
+            assert row.technique in text
+
+    def test_render_has_header(self):
+        assert "Quality reduction" in render_table()
+
+    def test_render_aligned(self):
+        lines = render_table().splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1

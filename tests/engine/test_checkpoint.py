@@ -1,0 +1,80 @@
+"""Tests for repro.engine.checkpoint - localized checkpointing."""
+
+import math
+
+import pytest
+
+from repro.engine.checkpoint import CheckpointCoordinator
+from repro.engine.state import StateStore
+from repro.errors import CheckpointError
+
+
+@pytest.fixture
+def store():
+    s = StateStore()
+    s.initialize_stage("agg", 60.0, ["a", "b"])
+    return s
+
+
+class TestCheckpointing:
+    def test_snapshots_every_partition_locally(self, store):
+        coordinator = CheckpointCoordinator(store, interval_s=30.0)
+        records = coordinator.checkpoint_all(10.0)
+        assert {(r.stage_name, r.site) for r in records} == {
+            ("agg", "a"),
+            ("agg", "b"),
+        }
+        assert all(r.size_mb == pytest.approx(30.0) for r in records)
+
+    def test_record_lookup(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        record = coordinator.record("agg", "a")
+        assert record is not None and record.taken_at_s == 10.0
+
+    def test_maybe_checkpoint_respects_interval(self, store):
+        coordinator = CheckpointCoordinator(store, interval_s=30.0)
+        assert coordinator.maybe_checkpoint(30.0)
+        assert not coordinator.maybe_checkpoint(45.0)
+        assert coordinator.maybe_checkpoint(60.0)
+
+    def test_invalid_interval_rejected(self, store):
+        with pytest.raises(CheckpointError):
+            CheckpointCoordinator(store, interval_s=0.0)
+
+    def test_last_checkpoint_tracked(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(42.0)
+        assert coordinator.last_checkpoint_s == 42.0
+
+    def test_two_partitions_same_site_aggregate(self):
+        store = StateStore()
+        store.initialize_stage("agg", 60.0, ["a", "a"])
+        coordinator = CheckpointCoordinator(store)
+        records = coordinator.checkpoint_all(0.0)
+        assert len(records) == 1
+        assert records[0].size_mb == pytest.approx(60.0)
+
+
+class TestMigrationSupport:
+    def test_migration_mb_uses_live_partition(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(0.0)
+        store.set_total_mb("agg", 120.0)  # state grew since the snapshot
+        assert coordinator.migration_mb("agg", "a") == pytest.approx(60.0)
+
+    def test_staleness(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        assert coordinator.staleness_s("agg", "a", 25.0) == pytest.approx(15.0)
+
+    def test_staleness_infinite_without_snapshot(self, store):
+        coordinator = CheckpointCoordinator(store)
+        assert math.isinf(coordinator.staleness_s("agg", "a", 0.0))
+
+    def test_forget_site(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(0.0)
+        coordinator.forget_site("agg", "a")
+        assert coordinator.record("agg", "a") is None
+        assert coordinator.record("agg", "b") is not None

@@ -1,0 +1,134 @@
+"""Tests for repro.engine.metrics - the Global Metric Monitor."""
+
+import math
+
+import pytest
+
+from repro.engine.metrics import GlobalMetricMonitor
+from repro.engine.runtime import TickReport
+
+
+def report(t, **kwargs):
+    r = TickReport(t_s=t)
+    for key, value in kwargs.items():
+        setattr(r, key, value)
+    return r
+
+
+class TestAggregation:
+    def test_rates_averaged_over_window(self):
+        monitor = GlobalMetricMonitor()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            monitor.observe(
+                report(t, processed={"agg": 100.0}, arrived={"agg": 110.0},
+                       emitted={"agg": 50.0})
+            )
+        window = monitor.collect()
+        metrics = window.stages["agg"]
+        assert metrics.lambda_p == pytest.approx(100.0)
+        assert metrics.lambda_i == pytest.approx(110.0)
+        assert metrics.lambda_o == pytest.approx(50.0)
+
+    def test_selectivity_from_window(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(
+            report(1.0, processed={"agg": 200.0}, emitted={"agg": 50.0})
+        )
+        assert monitor.collect().stages["agg"].selectivity == pytest.approx(
+            0.25
+        )
+
+    def test_collect_resets_window(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, processed={"agg": 100.0}))
+        monitor.collect()
+        assert monitor.pending_ticks == 0
+        assert monitor.collect().stages == {}
+
+    def test_empty_collect(self):
+        window = GlobalMetricMonitor().collect()
+        assert window.offered_eps == 0.0
+        assert math.isnan(window.mean_delay_s)
+
+    def test_source_generation_rates(self):
+        monitor = GlobalMetricMonitor()
+        for t in (1.0, 2.0):
+            monitor.observe(
+                report(t, offered=200.0, offered_by_source={"src": 200.0})
+            )
+        window = monitor.collect()
+        assert window.source_generation_eps["src"] == pytest.approx(200.0)
+        assert window.offered_eps == pytest.approx(200.0)
+
+    def test_mean_delay_weighted(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(
+            report(1.0, sink_events=100.0, sink_delay_weighted_s=100.0)
+        )
+        monitor.observe(
+            report(2.0, sink_events=300.0, sink_delay_weighted_s=600.0)
+        )
+        assert monitor.collect().mean_delay_s == pytest.approx(1.75)
+
+    def test_sink_conversion_applied(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, sink_events=10.0))
+        window = monitor.collect(sink_source_equiv=lambda events: events * 100)
+        assert window.sink_source_equiv_eps == pytest.approx(1000.0)
+
+
+class TestBacklogs:
+    def test_backlog_growth_last_minus_first(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, input_backlog={("agg", "a"): 100.0}))
+        monitor.observe(report(2.0, input_backlog={("agg", "a"): 400.0}))
+        metrics = monitor.collect().stages["agg"]
+        assert metrics.input_backlog == pytest.approx(400.0)
+        assert metrics.input_backlog_growth == pytest.approx(300.0)
+
+    def test_standing_backlog_zero_growth(self):
+        monitor = GlobalMetricMonitor()
+        for t in (1.0, 2.0):
+            monitor.observe(report(t, input_backlog={("agg", "a"): 500.0}))
+        metrics = monitor.collect().stages["agg"]
+        assert metrics.input_backlog_growth == pytest.approx(0.0)
+
+    def test_net_backlog_keyed_by_link(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(
+            report(1.0, net_backlog={("src", "agg", "e1", "d1"): 10.0})
+        )
+        monitor.observe(
+            report(2.0, net_backlog={("src", "agg", "e1", "d1"): 50.0})
+        )
+        metrics = monitor.collect().stages["agg"]
+        assert metrics.net_backlog[("e1", "d1")] == pytest.approx(50.0)
+        assert metrics.net_backlog_growth[("e1", "d1")] == pytest.approx(40.0)
+
+    def test_net_inflow_rate(self):
+        monitor = GlobalMetricMonitor()
+        for t in (1.0, 2.0):
+            monitor.observe(
+                report(t, net_sent={("src", "agg", "e1", "d1"): 30.0})
+            )
+        metrics = monitor.collect().stages["agg"]
+        assert metrics.net_inflow[("e1", "d1")] == pytest.approx(30.0)
+
+    def test_per_site_processing_and_capacity(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(
+            report(
+                1.0,
+                processed={"agg": 150.0},
+                processed_by_site={("agg", "a"): 100.0, ("agg", "b"): 50.0},
+                capacity_by_site={("agg", "a"): 200.0, ("agg", "b"): 200.0},
+            )
+        )
+        metrics = monitor.collect().stages["agg"]
+        assert metrics.processed_by_site["a"] == pytest.approx(100.0)
+        assert metrics.utilization == pytest.approx(150.0 / 400.0)
+
+    def test_utilization_zero_without_capacity(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, processed={"agg": 10.0}))
+        assert monitor.collect().stages["agg"].utilization == 0.0

@@ -1,0 +1,276 @@
+"""Tests for repro.engine.runtime - the fluid-flow engine."""
+
+import math
+
+import pytest
+
+from repro.config import WaspConfig
+from repro.engine.logical import LogicalPlan
+from repro.engine.operators import (
+    filter_,
+    sink,
+    source,
+    window_aggregate,
+)
+from repro.engine.physical import PhysicalPlan
+from repro.engine.runtime import EngineRuntime, WorkloadModel, mbps_to_eps
+
+
+class ConstantWorkload(WorkloadModel):
+    def __init__(self, rates):
+        self.rates = dict(rates)
+        self.base_rate_eps = self.rates.get  # duck-typed weighting hook
+
+    def generation_eps(self, source_stage, t_s):
+        return self.rates.get(source_stage, 0.0)
+
+
+def build_pipeline(topology, *, rate=1000.0, selectivity=0.5,
+                   agg_site="dc-1", event_bytes=100.0, degrade_slo=None,
+                   agg_cost=1.0):
+    """source(edge-x)+filter -> agg(dc-1) -> sink(dc-1)."""
+    ops = [
+        source("src", "edge-x", event_bytes=200.0),
+        filter_("flt", selectivity=selectivity, event_bytes=event_bytes),
+        window_aggregate("agg", window_s=10, selectivity=0.01, state_mb=5,
+                         cost=agg_cost),
+        sink("out"),
+    ]
+    logical = LogicalPlan.from_edges(
+        "q", ops, [("src", "flt"), ("flt", "agg"), ("agg", "out")]
+    )
+    physical = PhysicalPlan(logical)
+    physical.stage("src").add_task("edge-x")
+    physical.stage("agg").add_task(agg_site)
+    physical.stage("out").add_task(agg_site)
+    runtime = EngineRuntime(
+        topology,
+        physical,
+        ConstantWorkload({"src": rate}),
+        WaspConfig.paper_defaults(),
+        degrade_slo_s=degrade_slo,
+    )
+    return runtime
+
+
+class TestHealthyFlow:
+    def test_conservation_at_steady_state(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        for _ in range(30):
+            report = runtime.tick()
+        # 1000 * 0.5 * 0.01 = 5 events/s at the sink.
+        assert report.sink_events == pytest.approx(5.0, rel=0.01)
+        assert runtime.total_backlog() < 1.0
+
+    def test_delay_includes_link_latency(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        for _ in range(10):
+            report = runtime.tick()
+        # 50 ms edge-x -> dc-1 plus the half-tick generation offset.
+        assert 0.5 <= report.mean_sink_delay_s() <= 0.7
+
+    def test_offered_tracks_workload(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=2500.0)
+        report = runtime.tick()
+        assert report.offered == pytest.approx(2500.0)
+        assert report.offered_by_source["src"] == pytest.approx(2500.0)
+
+    def test_sink_source_equivalents(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        for _ in range(20):
+            report = runtime.tick()
+        equiv = runtime.sink_source_equiv(report.sink_events)
+        assert equiv == pytest.approx(1000.0, rel=0.02)
+
+    def test_no_sink_events_is_nan_delay(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=0.0)
+        report = runtime.tick()
+        assert math.isnan(report.mean_sink_delay_s())
+
+
+class TestComputeBottleneck:
+    def test_input_queue_grows_when_undersized(self, small_topology):
+        # agg capacity: 40_000 / 20 = 2_000 eps < 2_500 eps arriving.
+        runtime = build_pipeline(
+            small_topology, rate=5000.0, agg_cost=20.0
+        )
+        for _ in range(30):
+            report = runtime.tick()
+        assert runtime.input_backlog("agg") > 1000.0
+        assert report.input_backlog[("agg", "dc-1")] > 1000.0
+
+    def test_delay_grows_with_backlog(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=5000.0, agg_cost=20.0)
+        for _ in range(10):
+            early = runtime.tick().mean_sink_delay_s()
+        for _ in range(50):
+            late = runtime.tick().mean_sink_delay_s()
+        assert late > early + 5.0
+
+
+class TestNetworkBottleneck:
+    def test_net_queue_grows_on_constrained_link(self, small_topology):
+        # 10 Mbps at 100 B/event = 12_500 eps; offer 2x that post-filter.
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        runtime = build_pipeline(small_topology, rate=flow_eps * 4)
+        for _ in range(30):
+            report = runtime.tick()
+        key = ("src", "agg", "edge-x", "dc-1")
+        assert report.net_backlog[key] > 1000.0
+
+    def test_transfer_respects_link_budget(self, small_topology):
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        runtime = build_pipeline(small_topology, rate=flow_eps * 4)
+        for _ in range(10):
+            report = runtime.tick()
+        key = ("src", "agg", "edge-x", "dc-1")
+        assert report.net_sent[key] == pytest.approx(flow_eps, rel=0.01)
+
+    def test_local_flows_unconstrained(self, small_topology):
+        """Co-located stages exchange data without WAN involvement."""
+        runtime = build_pipeline(small_topology, rate=50_000.0,
+                                 agg_site="edge-x")
+        for _ in range(10):
+            report = runtime.tick()
+        assert not report.net_backlog
+
+
+class TestDegrade:
+    def test_drops_late_events(self, small_topology):
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        runtime = build_pipeline(
+            small_topology, rate=flow_eps * 4, degrade_slo=10.0
+        )
+        total_dropped = 0.0
+        for _ in range(60):
+            total_dropped += runtime.tick().dropped_source_equiv
+        assert total_dropped > 0.0
+
+    def test_keeps_delay_within_slo(self, small_topology):
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        runtime = build_pipeline(
+            small_topology, rate=flow_eps * 4, degrade_slo=10.0
+        )
+        for _ in range(120):
+            report = runtime.tick()
+        assert report.mean_sink_delay_s() < 10.5
+
+    def test_drop_accounting_in_source_equivalents(self, small_topology):
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        rate = flow_eps * 4
+        runtime = build_pipeline(small_topology, rate=rate, degrade_slo=10.0)
+        dropped = 0.0
+        offered = 0.0
+        for _ in range(200):
+            report = runtime.tick()
+            dropped += report.dropped_source_equiv
+            offered += report.offered
+        # Post-filter the link passes flow_eps of 2*flow_eps: half the
+        # surviving events must eventually drop, i.e. ~50% of source rate.
+        assert dropped / offered == pytest.approx(0.5, abs=0.1)
+
+
+class TestSuspension:
+    def test_suspended_stage_does_not_process(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        runtime.suspend_stage("agg", until_s=5.0)
+        for _ in range(4):
+            report = runtime.tick()
+        assert report.processed.get("agg", 0.0) == 0.0
+        assert runtime.input_backlog("agg") > 0.0
+
+    def test_resumes_after_transition(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        runtime.suspend_stage("agg", until_s=5.0)
+        for _ in range(30):
+            report = runtime.tick()
+        assert report.processed["agg"] > 0.0
+        assert runtime.total_backlog() < 1.0
+
+    def test_is_suspended(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        runtime.suspend_stage("agg", until_s=5.0)
+        assert runtime.is_suspended("agg")
+        for _ in range(6):
+            runtime.tick()
+        assert not runtime.is_suspended("agg")
+
+    def test_suspension_only_extends(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        runtime.suspend_stage("agg", until_s=10.0)
+        runtime.suspend_stage("agg", until_s=5.0)
+        assert runtime.suspended_until("agg") == 10.0
+
+
+class TestFailure:
+    def test_failed_site_stops_processing(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        for _ in range(5):
+            runtime.tick()
+        small_topology.site("dc-1").fail()
+        for _ in range(5):
+            report = runtime.tick()
+        assert report.sink_events == 0.0
+
+    def test_events_accumulate_during_failure(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        small_topology.site("dc-1").fail()
+        small_topology.site("edge-x").fail()
+        for _ in range(10):
+            runtime.tick()
+        # External generation continues; everything queues at the source.
+        assert runtime.total_backlog() == pytest.approx(10_000.0, rel=0.01)
+
+    def test_recovery_drains_backlog(self, small_topology):
+        runtime = build_pipeline(small_topology)
+        small_topology.site("dc-1").fail()
+        for _ in range(10):
+            runtime.tick()
+        small_topology.site("dc-1").recover()
+        for _ in range(200):
+            runtime.tick()
+        assert runtime.total_backlog() < 10.0
+
+
+class TestMutations:
+    def test_move_task_queue(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=5000.0, agg_cost=20.0)
+        for _ in range(10):
+            runtime.tick()
+        before = runtime.input_backlog("agg", "dc-1")
+        runtime.move_task_queue("agg", "dc-1", "dc-2")
+        assert runtime.input_backlog("agg", "dc-2") == pytest.approx(before)
+        assert runtime.input_backlog("agg", "dc-1") == 0.0
+
+    def test_redirect_flows(self, small_topology):
+        flow_eps = mbps_to_eps(10.0, 100.0)
+        runtime = build_pipeline(small_topology, rate=flow_eps * 4)
+        for _ in range(10):
+            runtime.tick()
+        runtime.redirect_flows("agg", "dc-1", "dc-2")
+        backlog = runtime.net_backlog_for("agg")
+        assert ("edge-x", "dc-2") in backlog
+        assert ("edge-x", "dc-1") not in backlog
+
+    def test_relay_queue_moves_via_wan(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=5000.0, agg_cost=20.0)
+        for _ in range(10):
+            runtime.tick()
+        queued = runtime.input_backlog("agg", "dc-1")
+        assert queued > 0
+        runtime.relay_queue("agg", "dc-1", "dc-2")
+        assert runtime.input_backlog("agg", "dc-1") == 0.0
+        # The relayed events are in a WAN queue, not teleported.
+        assert runtime.net_backlog_for("agg")[("dc-1", "dc-2")] == (
+            pytest.approx(queued)
+        )
+
+    def test_rehome_relays_orphaned_input(self, small_topology):
+        runtime = build_pipeline(small_topology, rate=5000.0, agg_cost=20.0)
+        for _ in range(10):
+            runtime.tick()
+        stage = runtime.plan.stage("agg")
+        stage.remove_task_at("dc-1")
+        stage.add_task("dc-2")
+        runtime.rehome_to_placement("agg")
+        assert runtime.input_backlog("agg", "dc-1") == 0.0

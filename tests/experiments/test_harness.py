@@ -1,0 +1,140 @@
+"""Tests for repro.experiments.harness - wiring and dynamics."""
+
+import pytest
+
+from repro.baselines.variants import degrade, no_adapt, wasp
+from repro.config import WaspConfig
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    DynamicsSpec,
+    ExperimentRun,
+    FailureEvent,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.schedule import Schedule
+from repro.workloads.queries import ysb_advertising
+
+
+@pytest.fixture
+def run(testbed, rngs):
+    query = ysb_advertising(testbed)
+    return ExperimentRun(testbed, query, no_adapt(), rngs=rngs)
+
+
+class TestWiring:
+    def test_initial_deployment_complete(self, run):
+        assert run.runtime.plan.deployed()
+        assert run.scheduler.initial_slots is not None
+
+    def test_stateful_stages_have_state(self, run):
+        assert run.state_store.total_mb("join{ads+campaigns}") > 0
+
+    def test_no_adapt_has_no_manager(self, run):
+        assert run.manager is None
+
+    def test_wasp_variant_gets_manager(self, testbed, rngs):
+        query = ysb_advertising(testbed)
+        run = ExperimentRun(testbed, query, wasp(), rngs=rngs)
+        assert run.manager is not None
+
+    def test_degrade_sets_engine_slo(self, testbed, rngs):
+        query = ysb_advertising(testbed)
+        run = ExperimentRun(testbed, query, degrade(), rngs=rngs)
+        assert run.runtime.degrade_slo_s == 10.0
+
+    def test_step_records_sample(self, run):
+        sample = run.step()
+        assert sample.t_s == 1.0
+        assert sample.offered > 0
+        assert len(run.recorder.samples) == 1
+
+    def test_run_duration(self, run):
+        run.run(30)
+        assert run.clock.now_s == pytest.approx(30.0)
+        assert len(run.recorder.samples) == 30
+
+
+class TestDynamics:
+    def test_workload_schedule_applies(self, run):
+        run.set_dynamics(
+            DynamicsSpec(workload_schedule=Schedule([(0.0, 1.0), (5.0, 2.0)]))
+        )
+        run.run(4)
+        offered_before = run.recorder.samples[-1].offered
+        run.run(10)
+        offered_after = run.recorder.samples[-1].offered
+        assert offered_after == pytest.approx(2 * offered_before, rel=0.01)
+
+    def test_bandwidth_schedule_applies(self, run):
+        link = run.topology.links()[0]
+        base = link.bandwidth_mbps
+        run.set_dynamics(
+            DynamicsSpec(bandwidth_schedule=Schedule([(0.0, 1.0), (2.0, 0.5)]))
+        )
+        run.run(5)
+        assert run.topology.bandwidth_mbps(link.src, link.dst) == (
+            pytest.approx(base * 0.5)
+        )
+
+    def test_per_link_schedule(self, run):
+        link = run.topology.links()[0]
+        run.set_dynamics(
+            DynamicsSpec(
+                link_bandwidth_schedules={
+                    (link.src, link.dst): Schedule([(0.0, 0.25)])
+                }
+            )
+        )
+        run.run(2)
+        assert run.topology.bandwidth_factor(link.src, link.dst) == 0.25
+
+    def test_failure_window(self, run):
+        run.set_dynamics(
+            DynamicsSpec(failures=[FailureEvent(t_s=3.0, duration_s=4.0)])
+        )
+        run.run(4)
+        assert all(s.failed for s in run.topology)
+        run.run(5)  # to t = 9 > 7
+        assert not any(s.failed for s in run.topology)
+
+    def test_partial_failure(self, run):
+        victim = run.topology.site_names[0]
+        run.set_dynamics(
+            DynamicsSpec(
+                failures=[
+                    FailureEvent(t_s=1.0, duration_s=2.0, sites=(victim,))
+                ]
+            )
+        )
+        run.run(2)
+        assert run.topology.site(victim).failed
+        assert sum(1 for s in run.topology if s.failed) == 1
+
+    def test_invalid_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(t_s=-1.0, duration_s=5.0)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_runs(self):
+        from repro.network.traces import paper_testbed
+
+        def make_run():
+            rngs = RngRegistry(99)
+            topo = paper_testbed(rngs.stream("topology"))
+            query = ysb_advertising(topo)
+            run = ExperimentRun(topo, query, wasp(), rngs=rngs)
+            run.run(120, DynamicsSpec(
+                workload_schedule=Schedule([(0.0, 1.0), (50.0, 2.0)])
+            ))
+            return run
+
+        import numpy as np
+
+        a, b = make_run(), make_run()
+        assert np.allclose(
+            a.recorder.delay_series(),
+            b.recorder.delay_series(),
+            equal_nan=True,
+        )
+        assert len(a.manager.history) == len(b.manager.history)

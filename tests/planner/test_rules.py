@@ -1,0 +1,182 @@
+"""Tests for repro.planner.rules - logical plan rewrites."""
+
+import pytest
+
+from repro.engine.logical import LogicalPlan
+from repro.engine.operators import filter_, map_, sink, source, union
+from repro.planner.rules import (
+    merge_consecutive_filters,
+    optimize,
+    prune_noop_maps,
+    push_filter_below_union,
+)
+
+
+def union_filter_plan():
+    ops = [
+        source("a", "x", event_bytes=100),
+        source("b", "y", event_bytes=100),
+        union("u"),
+        filter_("flt", selectivity=0.25, event_bytes=100),
+        sink("out"),
+    ]
+    edges = [("a", "u"), ("b", "u"), ("u", "flt"), ("flt", "out")]
+    return LogicalPlan.from_edges("q", ops, edges)
+
+
+class TestFilterBelowUnion:
+    def test_filter_cloned_per_branch(self):
+        rewritten = push_filter_below_union(union_filter_plan())
+        assert "flt@a" in rewritten and "flt@b" in rewritten
+        assert "flt" not in rewritten
+
+    def test_union_feeds_sink_directly(self):
+        rewritten = push_filter_below_union(union_filter_plan())
+        assert [d.name for d in rewritten.downstream("u")] == ["out"]
+
+    def test_branch_filters_preserve_selectivity(self):
+        rewritten = push_filter_below_union(union_filter_plan())
+        assert rewritten.operators["flt@a"].selectivity == 0.25
+
+    def test_sink_rate_unchanged(self):
+        """The rewrite must be semantics-preserving."""
+        original = union_filter_plan()
+        rewritten = push_filter_below_union(original)
+        rates = {"a": 100.0, "b": 300.0}
+        assert original.propagate_rates(rates)["out"] == pytest.approx(
+            rewritten.propagate_rates(rates)["out"]
+        )
+
+    def test_not_applied_when_union_has_other_consumers(self):
+        ops = [
+            source("a", "x"),
+            source("b", "y"),
+            union("u"),
+            filter_("flt", selectivity=0.5),
+            map_("tap"),
+            sink("out"),
+            sink("out2"),
+        ]
+        edges = [
+            ("a", "u"), ("b", "u"), ("u", "flt"), ("u", "tap"),
+            ("flt", "out"), ("tap", "out2"),
+        ]
+        plan = LogicalPlan.from_edges("q", ops, edges)
+        assert push_filter_below_union(plan) is plan
+
+    def test_noop_without_union(self):
+        ops = [source("a", "x"), filter_("f", selectivity=0.5), sink("out")]
+        plan = LogicalPlan.from_edges("q", ops, [("a", "f"), ("f", "out")])
+        assert push_filter_below_union(plan) is plan
+
+
+class TestMergeFilters:
+    def test_adjacent_filters_fuse(self):
+        ops = [
+            source("a", "x"),
+            filter_("f1", selectivity=0.5),
+            filter_("f2", selectivity=0.4),
+            sink("out"),
+        ]
+        edges = [("a", "f1"), ("f1", "f2"), ("f2", "out")]
+        plan = LogicalPlan.from_edges("q", ops, edges)
+        merged = merge_consecutive_filters(plan)
+        assert "f2" not in merged
+        assert merged.operators["f1"].selectivity == pytest.approx(0.2)
+
+    def test_merge_preserves_rates(self):
+        ops = [
+            source("a", "x"),
+            filter_("f1", selectivity=0.5),
+            filter_("f2", selectivity=0.4),
+            sink("out"),
+        ]
+        edges = [("a", "f1"), ("f1", "f2"), ("f2", "out")]
+        plan = LogicalPlan.from_edges("q", ops, edges)
+        merged = merge_consecutive_filters(plan)
+        rates = {"a": 1000.0}
+        assert plan.propagate_rates(rates)["out"] == pytest.approx(
+            merged.propagate_rates(rates)["out"]
+        )
+
+    def test_fan_out_filter_not_merged(self):
+        ops = [
+            source("a", "x"),
+            filter_("f1", selectivity=0.5),
+            filter_("f2", selectivity=0.4),
+            map_("tap"),
+            sink("out"),
+            sink("out2"),
+        ]
+        edges = [
+            ("a", "f1"), ("f1", "f2"), ("f1", "tap"),
+            ("f2", "out"), ("tap", "out2"),
+        ]
+        plan = LogicalPlan.from_edges("q", ops, edges)
+        assert merge_consecutive_filters(plan) is plan
+
+
+class TestPruneNoopMaps:
+    def test_identity_map_removed(self):
+        ops = [
+            source("a", "x", event_bytes=100),
+            map_("noop", event_bytes=100),
+            sink("out"),
+        ]
+        plan = LogicalPlan.from_edges(
+            "q", ops, [("a", "noop"), ("noop", "out")]
+        )
+        pruned = prune_noop_maps(plan)
+        assert "noop" not in pruned
+        assert [d.name for d in pruned.downstream("a")] == ["out"]
+
+    def test_size_changing_map_kept(self):
+        ops = [
+            source("a", "x", event_bytes=200),
+            map_("shrink", event_bytes=50),
+            sink("out"),
+        ]
+        plan = LogicalPlan.from_edges(
+            "q", ops, [("a", "shrink"), ("shrink", "out")]
+        )
+        assert prune_noop_maps(plan) is plan
+
+    def test_filtering_map_kept(self):
+        ops = [
+            source("a", "x", event_bytes=100),
+            map_("m", event_bytes=100, selectivity=0.5),
+            sink("out"),
+        ]
+        plan = LogicalPlan.from_edges("q", ops, [("a", "m"), ("m", "out")])
+        assert prune_noop_maps(plan) is plan
+
+
+class TestFixedPoint:
+    def test_optimize_applies_all_rules(self):
+        ops = [
+            source("a", "x", event_bytes=100),
+            source("b", "y", event_bytes=100),
+            union("u", event_bytes=100),
+            filter_("f1", selectivity=0.5, event_bytes=100),
+            filter_("f2", selectivity=0.5, event_bytes=100),
+            map_("noop", event_bytes=100),
+            sink("out"),
+        ]
+        edges = [
+            ("a", "u"), ("b", "u"), ("u", "f1"), ("f1", "f2"),
+            ("f2", "noop"), ("noop", "out"),
+        ]
+        plan = LogicalPlan.from_edges("q", ops, edges)
+        optimized = optimize(plan)
+        # noop pruned; f1+f2 merged; merged filter pushed below the union.
+        assert "noop" not in optimized
+        assert "f1@a" in optimized and "f1@b" in optimized
+        rates = {"a": 100.0, "b": 100.0}
+        assert plan.propagate_rates(rates)["out"] == pytest.approx(
+            optimized.propagate_rates(rates)["out"]
+        )
+
+    def test_optimize_terminates_on_fixed_plan(self):
+        ops = [source("a", "x"), filter_("f", selectivity=0.5), sink("out")]
+        plan = LogicalPlan.from_edges("q", ops, [("a", "f"), ("f", "out")])
+        assert optimize(plan) is plan

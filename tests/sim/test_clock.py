@@ -1,0 +1,110 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_advance_one_tick(self):
+        clock = SimClock(tick_s=1.0)
+        assert clock.advance() == 1.0
+
+    def test_tick_index_counts(self):
+        clock = SimClock()
+        clock.advance()
+        clock.advance()
+        assert clock.tick_index == 2
+
+    def test_fractional_tick(self):
+        clock = SimClock(tick_s=0.5)
+        clock.advance()
+        assert clock.now_s == pytest.approx(0.5)
+
+    def test_run_until(self):
+        clock = SimClock(tick_s=1.0)
+        clock.run_until(10.0)
+        assert clock.now_s == pytest.approx(10.0)
+
+    def test_run_until_no_overshoot(self):
+        clock = SimClock(tick_s=3.0)
+        clock.run_until(7.0)
+        assert clock.now_s == pytest.approx(9.0)  # last covering tick
+
+    def test_invalid_tick_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(tick_s=0)
+
+
+class TestPeriodicCallbacks:
+    def test_fires_at_period(self):
+        clock = SimClock()
+        fired = []
+        clock.every(3.0, fired.append)
+        clock.run_until(10.0)
+        assert fired == [3.0, 6.0, 9.0]
+
+    def test_offset_controls_first_firing(self):
+        clock = SimClock()
+        fired = []
+        clock.every(5.0, fired.append, offset_s=2.0)
+        clock.run_until(13.0)
+        assert fired == [2.0, 7.0, 12.0]
+
+    def test_multiple_tasks_fire_in_registration_order(self):
+        clock = SimClock()
+        order = []
+        clock.every(1.0, lambda t: order.append("a"), name="a")
+        clock.every(1.0, lambda t: order.append("b"), name="b")
+        clock.advance()
+        assert order == ["a", "b"]
+
+    def test_long_tick_fires_once_per_period(self):
+        clock = SimClock(tick_s=10.0)
+        fired = []
+        clock.every(3.0, fired.append)
+        clock.advance()
+        assert fired == [10.0, 10.0, 10.0]
+
+    def test_disable_stops_firing(self):
+        clock = SimClock()
+        fired = []
+        clock.every(1.0, fired.append, name="t")
+        clock.advance()
+        clock.set_enabled("t", False)
+        clock.advance()
+        assert len(fired) == 1
+
+    def test_reenable_resumes(self):
+        clock = SimClock()
+        fired = []
+        clock.every(1.0, fired.append, name="t")
+        clock.set_enabled("t", False)
+        clock.advance()
+        clock.set_enabled("t", True)
+        clock.advance()
+        # Catches up on the missed period plus the current one.
+        assert len(fired) == 2
+
+    def test_duplicate_name_rejected(self):
+        clock = SimClock()
+        clock.every(1.0, lambda t: None, name="x")
+        with pytest.raises(SimulationError):
+            clock.every(2.0, lambda t: None, name="x")
+
+    def test_unknown_name_in_set_enabled(self):
+        with pytest.raises(SimulationError):
+            SimClock().set_enabled("nope", True)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().every(0.0, lambda t: None)
+
+    def test_returns_generated_name(self):
+        clock = SimClock()
+        name = clock.every(1.0, lambda t: None)
+        assert name == "periodic-0"

@@ -1,0 +1,127 @@
+"""Tests for repro.sim.schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.schedule import Schedule
+
+
+class TestPiecewise:
+    def test_initial_before_first_breakpoint(self):
+        schedule = Schedule([(10.0, 2.0)], initial=1.0)
+        assert schedule.factor(5.0) == 1.0
+
+    def test_factor_at_breakpoint(self):
+        schedule = Schedule([(10.0, 2.0)])
+        assert schedule.factor(10.0) == 2.0
+
+    def test_factor_holds_until_next(self):
+        schedule = Schedule([(10.0, 2.0), (20.0, 0.5)])
+        assert schedule.factor(15.0) == 2.0
+        assert schedule.factor(25.0) == 0.5
+
+    def test_constant(self):
+        schedule = Schedule.constant(3.0)
+        assert schedule.factor(0.0) == 3.0
+        assert schedule.factor(1e9) == 3.0
+
+    def test_section_84_timeline(self):
+        """Rate 1x -> 2x at 300 -> 1x at 600 (Section 8.4)."""
+        schedule = Schedule([(0.0, 1.0), (300.0, 2.0), (600.0, 1.0)])
+        assert schedule.factor(299.0) == 1.0
+        assert schedule.factor(300.0) == 2.0
+        assert schedule.factor(599.0) == 2.0
+        assert schedule.factor(600.0) == 1.0
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule([(1.0, 2.0), (1.0, 3.0)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule([(-1.0, 2.0)])
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule([(1.0, -2.0)])
+
+    def test_breakpoints_sorted(self):
+        schedule = Schedule([(20.0, 3.0), (10.0, 2.0)])
+        points = schedule.breakpoints()
+        assert [p.t_s for p in points] == [10.0, 20.0]
+
+
+class TestSteps:
+    def test_section_85_vector(self):
+        """Workload x{1,2,2,1,1} in 300 s intervals (Section 8.5)."""
+        schedule = Schedule.steps(300.0, [1.0, 2.0, 2.0, 1.0, 1.0])
+        assert schedule.factor(0.0) == 1.0
+        assert schedule.factor(450.0) == 2.0
+        assert schedule.factor(750.0) == 2.0
+        assert schedule.factor(1000.0) == 1.0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule.steps(0.0, [1.0])
+
+
+class TestRandomWalk:
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        schedule = Schedule.random_walk(
+            rng, duration_s=3600, interval_s=60, low=0.51, high=2.36
+        )
+        samples = [schedule.factor(t) for t in range(0, 3600, 30)]
+        assert min(samples) >= 0.51
+        assert max(samples) <= 2.36
+
+    def test_actually_varies(self):
+        rng = np.random.default_rng(0)
+        schedule = Schedule.random_walk(
+            rng, duration_s=3600, interval_s=60, low=0.5, high=2.0
+        )
+        samples = {schedule.factor(t) for t in range(0, 3600, 60)}
+        assert len(samples) > 10
+
+    def test_reproducible(self):
+        a = Schedule.random_walk(
+            np.random.default_rng(1), duration_s=600, interval_s=60,
+            low=0.8, high=2.4,
+        )
+        b = Schedule.random_walk(
+            np.random.default_rng(1), duration_s=600, interval_s=60,
+            low=0.8, high=2.4,
+        )
+        assert [p.factor for p in a.breakpoints()] == [
+            p.factor for p in b.breakpoints()
+        ]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule.random_walk(
+                np.random.default_rng(0), duration_s=60, interval_s=10,
+                low=2.0, high=1.0,
+            )
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Schedule.random_walk(
+                np.random.default_rng(0), duration_s=0, interval_s=10,
+                low=0.5, high=1.0,
+            )
+
+    @given(
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=1.0, max_value=5.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_bounds_hold_for_any_range(self, low, high, seed):
+        rng = np.random.default_rng(seed)
+        schedule = Schedule.random_walk(
+            rng, duration_s=600, interval_s=60, low=low, high=high
+        )
+        for point in schedule.breakpoints():
+            assert low <= point.factor <= high

@@ -1,0 +1,78 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "topk-topics" in out
+        assert "WASP" in out
+        assert "fig13" in out
+
+
+class TestRun:
+    def test_run_short(self, capsys):
+        code = main(
+            [
+                "run", "--query", "ysb-advertising", "--variant", "WASP",
+                "--dynamics", "quiet", "--duration", "60", "--seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean delay" in out
+        assert "WASP" in out
+
+    def test_run_multiple_variants(self, capsys):
+        code = main(
+            [
+                "run", "--query", "ysb-advertising",
+                "--variant", "No Adapt", "--variant", "Degrade",
+                "--dynamics", "quiet", "--duration", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "No Adapt" in out and "Degrade" in out
+
+    def test_unknown_variant_fails_cleanly(self, capsys):
+        code = main(
+            ["run", "--variant", "Nonsense", "--duration", "10"]
+        )
+        assert code == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_unknown_query_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--query", "nope"])
+
+
+class TestFigures:
+    def test_fig2(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        assert "Oregon" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["figures", "fig7"]) == 0
+        assert "edge bandwidth" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["figures", "table2"]) == 0
+        assert "Task Re-Assignment" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["figures", "table3"]) == 0
+        assert "Top-K Topics" in capsys.readouterr().out
+
+    def test_fig13(self, capsys):
+        assert main(["figures", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "WASP/none" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
