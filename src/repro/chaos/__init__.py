@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the WASP reproduction.
+
+The chaos harness turns the paper's wide-area dynamics - and the failure
+modes its evaluation only gestures at - into seeded, replayable fault
+programs.  See :mod:`repro.chaos.faults` for the fault vocabulary and
+:mod:`repro.chaos.injector` for scheduling, including mid-adaptation
+trigger points.
+"""
+
+from .faults import (
+    BandwidthCollapse,
+    ChaosTarget,
+    CheckpointLoss,
+    Fault,
+    LinkFlap,
+    SiteCrash,
+    SlotRevocation,
+    Straggler,
+)
+from .injector import ChaosInjector
+
+__all__ = [
+    "BandwidthCollapse",
+    "ChaosInjector",
+    "ChaosTarget",
+    "CheckpointLoss",
+    "Fault",
+    "LinkFlap",
+    "SiteCrash",
+    "SlotRevocation",
+    "Straggler",
+]

@@ -68,6 +68,13 @@ class WaspConfig:
     #: Route state migrations through the best single relay site when that
     #: beats the direct link (bulk transfers only; see network/relay.py).
     migration_relays: bool = False
+    #: Transactional adaptation: how often a rolled-back action is retried
+    #: against re-measured bandwidth before falling through the technique
+    #: chain (scale-out with state partitioning, then abandoning state).
+    adaptation_max_retries: int = 2
+    #: Simulated-time penalty added to the transition per retry attempt
+    #: (bounded backoff: attempt k pays k * backoff on top of the transfer).
+    adaptation_retry_backoff_s: float = 5.0
     seed: int = 20201207  # Middleware '20 started December 7, 2020.
 
     def __post_init__(self) -> None:
@@ -124,6 +131,16 @@ class WaspConfig:
             raise ConfigurationError(
                 "replan_cooldown_s must be >= 0, got "
                 f"{self.replan_cooldown_s}"
+            )
+        if self.adaptation_max_retries < 0:
+            raise ConfigurationError(
+                "adaptation_max_retries must be >= 0, got "
+                f"{self.adaptation_max_retries}"
+            )
+        if self.adaptation_retry_backoff_s < 0:
+            raise ConfigurationError(
+                "adaptation_retry_backoff_s must be >= 0, got "
+                f"{self.adaptation_retry_backoff_s}"
             )
 
     @classmethod

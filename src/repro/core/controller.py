@@ -20,7 +20,9 @@ strategy selects WASP / Random / Distant / None state movement
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -30,7 +32,7 @@ from ..engine.metrics import GlobalMetricMonitor, MetricsWindow
 from ..engine.physical import PhysicalPlan, Stage
 from ..engine.runtime import EngineRuntime, TickReport
 from ..engine.state import StateStore
-from ..errors import AdaptationError
+from ..errors import AdaptationError, AdaptationRollbackError, WaspError
 from ..network.monitor import WanMonitor
 from ..network.relay import relayed_bandwidth_lookup
 from ..planner.scheduler import AssignmentDiff, Scheduler
@@ -53,6 +55,15 @@ from .migration import (
 )
 from .policy import AdaptationPolicy, PolicyContext, PolicyMode
 from .replanning import Replanner
+from .transaction import (
+    AdaptationPoint,
+    AdaptationTransaction,
+    AttemptRecord,
+)
+
+#: Hook signature chaos injection registers on the controller: called at
+#: each :class:`AdaptationPoint` with the acted-on stage and the sim time.
+AdaptationHook = Callable[[AdaptationPoint, str, float], None]
 
 
 @dataclass
@@ -65,6 +76,19 @@ class AdaptationRecord:
     reason: str
     transition_s: float
     migration: MigrationPlan | None = None
+    #: Which technique of the Figure-6 fallback chain finally committed:
+    #: "primary", "retry-<k>", "scale-out" or "abandon-state".
+    attempt: str = "primary"
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """One candidate technique in the transactional fallback chain."""
+
+    label: str
+    action: Action
+    strategy: MigrationStrategy | None  # None inherits the manager's strategy
+    backoff_s: float = 0.0
 
 
 class _NetworkAdapter:
@@ -127,9 +151,17 @@ class ReconfigurationManager:
         self.network = _NetworkAdapter(self)
 
         self.history: list[AdaptationRecord] = []
+        self.attempt_log: list[AttemptRecord] = []
         self.state_lost_mb = 0.0
         self.last_window: MetricsWindow | None = None
         self.last_diagnoses: dict[str, StageDiagnosis] = {}
+
+        #: Chaos hook fired at each AdaptationPoint (see transaction.py);
+        #: None outside chaos experiments.
+        self.adaptation_hook: AdaptationHook | None = None
+        # Per-attempt overrides installed by the transactional executor.
+        self._strategy_override: MigrationStrategy | None = None
+        self._extra_transition_s = 0.0
 
         # Bulk state transfers may route through a relay site when the
         # config enables it; live stream placement always uses direct links.
@@ -215,19 +247,345 @@ class ReconfigurationManager:
     # Action execution
     # ------------------------------------------------------------------ #
 
+    def execute(self, action: Action, now_s: float) -> AdaptationRecord | None:
+        """Run one externally-constructed action through the same
+        transactional fallback chain `adaptation_round` uses."""
+        return self._execute(action, now_s)
+
     def _execute(self, action: Action, now_s: float) -> AdaptationRecord | None:
+        """Run one action transactionally with technique fallback.
+
+        Lifecycle per attempt: validate -> snapshot -> apply -> verify ->
+        commit.  Any :class:`~repro.errors.WaspError` raised during the
+        attempt (a planner refusing a dead link, a chaos fault striking at
+        an :class:`AdaptationPoint`, verification finding the result
+        inconsistent) rolls the snapshot back and falls through the
+        Figure-6 technique chain: retry against re-measured bandwidth with
+        bounded simulated-time backoff, then scale-out with state
+        partitioning, then abandon the state (Section 8.7.1's NONE).
+        Returns None when every technique rolled back - the system is then
+        bit-identical to before the action.
+        """
+        if not isinstance(
+            action, (ReassignAction, ScaleAction, ScaleDownAction, ReplanAction)
+        ):
+            raise AdaptationError(f"unknown action type: {action!r}")
+        for attempt in self._attempt_chain(action, now_s):
+            txn = AdaptationTransaction.begin(self)
+            self._strategy_override = attempt.strategy
+            self._extra_transition_s = attempt.backoff_s
+            try:
+                self._validate(attempt.action)
+                record = self._apply_action(attempt.action, now_s)
+                self._verify(record)
+            except WaspError as exc:
+                txn.rollback(self)
+                self._log_attempt(
+                    now_s, action.stage, attempt.label, "rolled-back", str(exc)
+                )
+                continue
+            finally:
+                self._strategy_override = None
+                self._extra_transition_s = 0.0
+            record.attempt = attempt.label
+            self._log_attempt(
+                now_s, action.stage, attempt.label, "committed",
+                attempt.action.reason,
+            )
+            return record
+        self._log_attempt(
+            now_s, action.stage, "exhausted", "abandoned",
+            "every technique in the fallback chain rolled back",
+        )
+        return None
+
+    def _apply_action(self, action: Action, now_s: float) -> AdaptationRecord:
         if isinstance(action, ReassignAction):
             return self._execute_reassign(action, now_s)
         if isinstance(action, ScaleAction):
             return self._execute_scale(action, now_s)
         if isinstance(action, ScaleDownAction):
             return self._execute_scale_down(action, now_s)
-        if isinstance(action, ReplanAction):
-            return self._execute_replan(action, now_s)
-        raise AdaptationError(f"unknown action type: {action!r}")
+        assert isinstance(action, ReplanAction)
+        return self._execute_replan(action, now_s)
 
     def _stage(self, name: str) -> Stage:
         return self.runtime.plan.stage(name)
+
+    # ------------------------------------------------------------------ #
+    # Transaction lifecycle: validate / verify / fallback chain
+    # ------------------------------------------------------------------ #
+
+    def _current_strategy(self) -> MigrationStrategy:
+        return self._strategy_override or self.migration_strategy
+
+    def _notify_point(
+        self, point: AdaptationPoint, stage: str, now_s: float
+    ) -> None:
+        if self.adaptation_hook is not None:
+            self.adaptation_hook(point, stage, now_s)
+
+    def _log_attempt(
+        self, t_s: float, stage: str, attempt: str, outcome: str, detail: str
+    ) -> None:
+        self.attempt_log.append(
+            AttemptRecord(t_s, stage, attempt, outcome, detail)
+        )
+        if self.recorder is None:
+            return
+        if outcome == "rolled-back":
+            self.recorder.record_adaptation(
+                t_s, "rollback", f"{stage}: {attempt}: {detail}"
+            )
+        elif outcome == "abandoned":
+            self.recorder.record_adaptation(
+                t_s, "adaptation-abandoned", f"{stage}: {detail}"
+            )
+        elif attempt != "primary":
+            self.recorder.record_adaptation(
+                t_s, f"fallback:{attempt}", f"{stage}: {detail}"
+            )
+
+    def _validate(self, action: Action) -> None:
+        """Reject actions that are wrong before touching anything."""
+        if isinstance(action, ReplanAction):
+            return  # the replanner validated feasibility when proposing it
+        plan = self.runtime.plan
+        if action.stage not in plan.stages:
+            raise AdaptationError(f"unknown stage {action.stage!r}")
+        topology = self.runtime.topology
+        if isinstance(action, (ReassignAction, ScaleAction)):
+            if not action.new_assignment:
+                raise AdaptationError(
+                    f"stage {action.stage!r}: empty assignment"
+                )
+            for site, count in sorted(action.new_assignment.items()):
+                if count <= 0:
+                    raise AdaptationError(
+                        f"stage {action.stage!r}: non-positive task count "
+                        f"{count} at {site!r}"
+                    )
+                if topology.site(site).failed:
+                    raise AdaptationError(
+                        f"stage {action.stage!r}: assignment targets failed "
+                        f"site {site!r}"
+                    )
+        elif isinstance(action, ScaleDownAction):
+            if plan.stage(action.stage).placement().get(action.site, 0) < 1:
+                raise AdaptationError(
+                    f"stage {action.stage!r} has no task at {action.site!r}"
+                )
+
+    def _verify(self, record: AdaptationRecord) -> None:
+        """Post-apply consistency check; raising here triggers rollback.
+
+        A fault injected at an adaptation point surfaces exactly here: the
+        apply path succeeded against the pre-fault world, and verification
+        compares the result against the post-fault one.
+        """
+        plan = self.runtime.plan
+        topology = self.runtime.topology
+        failed = {s.name for s in topology if s.failed}
+        names = (
+            list(plan.stages)
+            if record.kind is ActionKind.REPLAN
+            else [record.stage]
+        )
+        for name in names:
+            stage = plan.stages.get(name)
+            if stage is None:
+                continue
+            if stage.is_source:
+                continue  # sources are pinned; recovery handles their sites
+            placement = stage.placement()
+            on_failed = sorted(set(placement) & failed)
+            if on_failed:
+                raise AdaptationRollbackError(
+                    f"stage {name!r} placed on failed site(s) {on_failed}"
+                )
+            if stage.stateful:
+                stranded = sorted(
+                    set(self.state_store.sites(name)) - set(placement)
+                )
+                if stranded:
+                    raise AdaptationRollbackError(
+                        f"stage {name!r}: state partitions stranded at "
+                        f"{stranded}"
+                    )
+        if record.migration is not None and not math.isfinite(
+            record.migration.transition_s
+        ):
+            raise AdaptationRollbackError(
+                f"stage {record.stage!r}: non-finite migration transition"
+            )
+        # Slot accounting: every task of the live plan must be backed by an
+        # allocated slot, and no site may exceed its capacity.
+        tasks_at: dict[str, int] = {}
+        for stage in plan.topological_stages():
+            for site, count in stage.placement().items():
+                tasks_at[site] = tasks_at.get(site, 0) + count
+        for site_name in sorted(tasks_at):
+            site = topology.site(site_name)
+            if not site.failed and site.used_slots < tasks_at[site_name]:
+                raise AdaptationRollbackError(
+                    f"slot accounting underflow at {site_name!r}: "
+                    f"{tasks_at[site_name]} tasks but only "
+                    f"{site.used_slots} slots in use"
+                )
+
+    def _attempt_chain(self, action: Action, now_s: float):
+        """Lazily yield the Figure-6 fallback chain for ``action``.
+
+        Built lazily so each fallback is derived from the world as it is
+        *after* the previous rollback (failed sites stripped, bandwidth
+        re-measured).  Scale-down is an optimization and a re-plan is
+        re-decided from scratch next round, so both get a single attempt.
+        """
+        yield _Attempt("primary", action, None)
+        if not isinstance(action, (ReassignAction, ScaleAction)):
+            return
+        backoff = self.config.adaptation_retry_backoff_s
+        for k in range(1, self.config.adaptation_max_retries + 1):
+            retry = self._remeasured_action(action, now_s)
+            if retry is None:
+                break
+            yield _Attempt(f"retry-{k}", retry, None, backoff_s=backoff * k)
+        scale_out = self._scale_out_fallback(action)
+        if scale_out is not None:
+            yield _Attempt("scale-out", scale_out, None)
+        abandon = self._abandon_state_fallback(action)
+        if abandon is not None:
+            yield _Attempt("abandon-state", abandon, MigrationStrategy.NONE)
+
+    def _viable_assignment(
+        self, stage: Stage, assignment: dict[str, int]
+    ) -> dict[str, int] | None:
+        """Strip failed sites from ``assignment``, re-homing displaced tasks.
+
+        Displaced counts move to live sites by descending slot headroom
+        (ties broken by name, so the result is deterministic).  Returns
+        None when nothing survives.
+        """
+        failed = {s.name for s in self.runtime.topology if s.failed}
+        surviving = {
+            site: count
+            for site, count in assignment.items()
+            if site not in failed
+        }
+        displaced = sum(
+            count for site, count in assignment.items() if site in failed
+        )
+        if displaced:
+            current = stage.placement()
+            available = self.runtime.topology.available_slots()
+
+            def headroom(site: str) -> int:
+                # Slots a retry could occupy: currently free, plus those the
+                # stage itself holds there, minus what this assignment asks.
+                return (
+                    available.get(site, 0)
+                    + current.get(site, 0)
+                    - surviving.get(site, 0)
+                )
+
+            candidates = sorted(set(available) - failed)
+            for _ in range(displaced):
+                best = None
+                for site in candidates:
+                    if headroom(site) <= 0:
+                        continue
+                    if best is None or headroom(site) > headroom(best):
+                        best = site
+                if best is None:
+                    break  # not enough live capacity; shrink the stage
+                surviving[best] = surviving.get(best, 0) + 1
+        return surviving or None
+
+    def _remeasured_action(
+        self, action: ReassignAction | ScaleAction, now_s: float
+    ) -> Action | None:
+        stage = self.runtime.plan.stages.get(action.stage)
+        if stage is None:
+            return None
+        assignment = self._viable_assignment(stage, action.new_assignment)
+        if assignment is None:
+            return None
+        # Fresh single-link measurements for every candidate transfer path,
+        # so the retry plans against the post-fault bandwidth.
+        for src in sorted(stage.placement()):
+            for dst in sorted(assignment):
+                if src != dst:
+                    self.wan_monitor.remeasure(src, dst, now_s)
+        reason = f"{action.reason} [retry: re-measured bandwidth]"
+        if isinstance(action, ScaleAction):
+            return ScaleAction(
+                stage=action.stage,
+                reason=reason,
+                target_parallelism=sum(assignment.values()),
+                new_assignment=assignment,
+                cross_site=any(
+                    site not in stage.placement() for site in assignment
+                ),
+            )
+        return ReassignAction(
+            stage=action.stage, reason=reason, new_assignment=assignment
+        )
+
+    def _scale_out_fallback(
+        self, action: ReassignAction | ScaleAction
+    ) -> ScaleAction | None:
+        """Scale out one task further so state partitioning shrinks each
+        transfer slice (Section 8.7.2's mitigation for heavy migrations)."""
+        stage = self.runtime.plan.stages.get(action.stage)
+        if stage is None or not stage.splittable:
+            return None
+        base = self._viable_assignment(stage, action.new_assignment)
+        if base is None:
+            return None
+        failed = {s.name for s in self.runtime.topology if s.failed}
+        current = stage.placement()
+        available = self.runtime.topology.available_slots()
+        extra_site = None
+        for site in sorted(set(available) - failed):
+            room = (
+                available.get(site, 0)
+                + current.get(site, 0)
+                - base.get(site, 0)
+            )
+            if room <= 0:
+                continue
+            if extra_site is None:
+                extra_site = site
+        if extra_site is None:
+            return None
+        target = dict(base)
+        target[extra_site] = target.get(extra_site, 0) + 1
+        return ScaleAction(
+            stage=action.stage,
+            reason=(
+                f"{action.reason} [fallback: scale-out partitions state]"
+            ),
+            target_parallelism=sum(target.values()),
+            new_assignment=target,
+            cross_site=any(site not in current for site in target),
+        )
+
+    def _abandon_state_fallback(
+        self, action: ReassignAction | ScaleAction
+    ) -> ReassignAction | None:
+        """Last resort: move the execution and restart state empty
+        (Section 8.7.1's NONE - loses accuracy, never availability)."""
+        stage = self.runtime.plan.stages.get(action.stage)
+        if stage is None:
+            return None
+        assignment = self._viable_assignment(stage, action.new_assignment)
+        if assignment is None:
+            return None
+        return ReassignAction(
+            stage=action.stage,
+            reason=f"{action.reason} [fallback: abandon state]",
+            new_assignment=assignment,
+        )
 
     def _execute_reassign(
         self, action: ReassignAction, now_s: float
@@ -240,10 +598,19 @@ class ReconfigurationManager:
         }
         diff = self.scheduler.apply_assignment(stage, action.new_assignment)
         migration = self._migrate_for_diff(stage, moved_out, diff)
+        if migration.transfers:
+            self._notify_point(
+                AdaptationPoint.MIGRATION_IN_FLIGHT, stage.name, now_s
+            )
         transition = (
-            self.config.reconfig_base_overhead_s + migration.transition_s
+            self.config.reconfig_base_overhead_s
+            + migration.transition_s
+            + self._extra_transition_s
         )
         self.runtime.suspend_stage(stage.name, now_s + transition)
+        self._notify_point(
+            AdaptationPoint.BETWEEN_SUSPEND_RESUME, stage.name, now_s
+        )
         self._apply_migration_side_effects(stage, migration)
         self._rehome_orphans(stage, diff)
         return AdaptationRecord(
@@ -265,15 +632,24 @@ class ReconfigurationManager:
         }
         diff = self.scheduler.apply_assignment(stage, action.new_assignment)
         migration: MigrationPlan | None = None
-        transition = self.config.reconfig_base_overhead_s
+        transition = (
+            self.config.reconfig_base_overhead_s + self._extra_transition_s
+        )
         if stage.stateful and self.state_store.total_mb(stage.name) > 0:
             migration = self._rebalance_state(stage, before_state)
+            if migration.transfers:
+                self._notify_point(
+                    AdaptationPoint.MIGRATION_IN_FLIGHT, stage.name, now_s
+                )
             transition += migration.transition_s
         elif stage.stateful:
             task_sites = [t.site for t in stage.tasks]
             self.state_store.rebalance(stage.name, task_sites)
         self._rehome_orphans(stage, diff)
         self.runtime.suspend_stage(stage.name, now_s + transition)
+        self._notify_point(
+            AdaptationPoint.BETWEEN_SUSPEND_RESUME, stage.name, now_s
+        )
         return AdaptationRecord(
             t_s=now_s,
             kind=action.kind,
@@ -310,7 +686,7 @@ class ReconfigurationManager:
                 {action.site: partition_mb},
                 [target],
                 self.migration_bandwidth,
-                strategy=self.migration_strategy,
+                strategy=self._current_strategy(),
                 rng=self._rng,
             )
             transition = migration.transition_s
@@ -421,7 +797,7 @@ class ReconfigurationManager:
             moved_out,
             moved_in,
             self.migration_bandwidth,
-            strategy=self.migration_strategy,
+            strategy=self._current_strategy(),
             rng=self._rng,
         )
         return plan
@@ -466,7 +842,7 @@ class ReconfigurationManager:
         p_new = max(1, sum(placement.values()))
         share_mb = total_mb / p_new
         target = {site: share_mb * count for site, count in placement.items()}
-        strategy = self.migration_strategy
+        strategy = self._current_strategy()
         if strategy is MigrationStrategy.NONE:
             # State partitioning always ships the state: abandoning it here
             # would silently turn a stateful scale into data loss.

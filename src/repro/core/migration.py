@@ -57,6 +57,23 @@ class Transfer:
         return self.size_mb * 8.0 / self.bandwidth_mbps
 
 
+def _require_finite(stage: str, transfers: tuple[Transfer, ...]) -> None:
+    """Refuse migration plans containing an unfinishable transfer.
+
+    A zero-bandwidth pair (e.g. a collapsed link) would otherwise yield an
+    ``inf`` duration that propagates silently into the minmax and the
+    policy's overhead estimate; planning an infinite transfer is always a
+    bug at the call site, so it surfaces as :class:`MigrationError` and the
+    caller can fall back (re-measure, relay, scale out, or abandon state).
+    """
+    for t in transfers:
+        if t.size_mb > 0 and t.bandwidth_mbps <= 0:
+            raise MigrationError(
+                f"stage {stage!r}: transfer {t.from_site} -> {t.to_site} of "
+                f"{t.size_mb:.1f} MB has no bandwidth (link collapsed?)"
+            )
+
+
 @dataclass(frozen=True)
 class MigrationPlan:
     """A set of transfers executed in parallel; cost is the slowest one."""
@@ -171,6 +188,7 @@ def plan_migration(
         )
         for (src, size_mb), dst_idx in zip(sources, chosen)
     )
+    _require_finite(stage, transfers)
     return MigrationPlan(transfers=transfers)
 
 
@@ -263,7 +281,9 @@ def rebalance_transfers(
             deficits[dst] -= chunk
             if deficits[dst] <= eps:
                 del deficits[dst]
-    return MigrationPlan(transfers=tuple(transfers))
+    plan = MigrationPlan(transfers=tuple(transfers))
+    _require_finite(stage, plan.transfers)
+    return plan
 
 
 def estimate_transition_s(
@@ -273,12 +293,18 @@ def estimate_transition_s(
     bandwidth,
 ) -> float:
     """The policy's ``t_adapt`` estimate (Section 6.2): the WASP-strategy
-    migration time, infinite when no destinations can host the state."""
+    migration time, infinite when no destinations can host the state or no
+    finite-bandwidth mapping exists (the ``t_adapt <= t_max`` check then
+    rejects the adaptation instead of planning an infinite transfer)."""
     if not moved_out:
         return 0.0
     if len(moved_in) < len(moved_out):
         return math.inf
-    plan = plan_migration(
-        stage, moved_out, moved_in, bandwidth, strategy=MigrationStrategy.WASP
-    )
+    try:
+        plan = plan_migration(
+            stage, moved_out, moved_in, bandwidth,
+            strategy=MigrationStrategy.WASP,
+        )
+    except MigrationError:
+        return math.inf
     return plan.transition_s

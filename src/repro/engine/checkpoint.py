@@ -105,3 +105,26 @@ class CheckpointCoordinator:
     def forget_site(self, stage_name: str, site: str) -> None:
         """Drop records for a partition that moved away or was discarded."""
         self._records.pop((stage_name, site), None)
+
+    def forget_all_at_site(self, site: str) -> list[str]:
+        """Drop every stage's snapshot at ``site`` (checkpoint-loss fault).
+
+        Returns the stages that lost a record; their recovery falls back to
+        replaying from t=0 (staleness becomes infinite).
+        """
+        lost = [
+            stage for (stage, s) in list(self._records) if s == site
+        ]
+        for stage in lost:
+            self._records.pop((stage, site), None)
+        return sorted(lost)
+
+    def snapshot_records(self) -> dict[tuple[str, str], CheckpointRecord]:
+        """Copy of the record table (records are frozen, shallow is exact)."""
+        return dict(self._records)
+
+    def restore_records(
+        self, snapshot: dict[tuple[str, str], CheckpointRecord]
+    ) -> None:
+        """Restore a :meth:`snapshot_records` (adaptation rollback)."""
+        self._records = dict(snapshot)

@@ -72,6 +72,16 @@ class FluidQueue:
         for parcel in parcels:
             self.push(parcel.count, parcel.gen_time_s)
 
+    def clone(self) -> "FluidQueue":
+        """Exact copy (parcel order, counts and ages); used by the
+        transactional adaptation executor to snapshot queue tables."""
+        copy = FluidQueue()
+        copy._parcels = deque(
+            Parcel(p.count, p.gen_time_s) for p in self._parcels
+        )
+        copy._count = self._count
+        return copy
+
     def pop(self, count: float) -> list[Parcel]:
         """Dequeue up to ``count`` events FIFO; returns the parcels removed."""
         if count < 0:

@@ -64,6 +64,21 @@ class FlowKey:
 
 
 @dataclass
+class RuntimeSnapshot:
+    """Deep copy of the engine's mutable execution state (rollback unit).
+
+    The snapshot keeps its own clones of every queue so restoring twice (or
+    restoring after further mutation) is always exact.
+    """
+
+    plan: PhysicalPlan
+    gen_queue: dict[tuple[str, str], FluidQueue]
+    input_queue: dict[tuple[str, str], FluidQueue]
+    net_queue: dict[tuple[str, str, str, str], FluidQueue]
+    suspended_until: dict[str, float]
+
+
+@dataclass
 class TickReport:
     """Raw per-tick observations, consumed by the metric monitor."""
 
@@ -352,6 +367,35 @@ class EngineRuntime:
             else self._input_queue
         )
         self._queue(table, (stage_name, site)).push(events, gen_time_s)
+
+    def mutation_snapshot(self) -> "RuntimeSnapshot":
+        """Capture everything the mutation API can change.
+
+        The transactional adaptation executor calls this before applying an
+        action; :meth:`restore_mutation_snapshot` puts the engine back
+        exactly (queues, suspensions, plan reference) if the action has to
+        be rolled back mid-flight.
+        """
+        return RuntimeSnapshot(
+            plan=self._plan,
+            gen_queue={k: q.clone() for k, q in self._gen_queue.items()},
+            input_queue={k: q.clone() for k, q in self._input_queue.items()},
+            net_queue={k: q.clone() for k, q in self._net_queue.items()},
+            suspended_until=dict(self._suspended_until),
+        )
+
+    def restore_mutation_snapshot(self, snapshot: "RuntimeSnapshot") -> None:
+        """Restore a :meth:`mutation_snapshot` (adaptation rollback)."""
+        plan_changed = snapshot.plan is not self._plan
+        self._plan = snapshot.plan
+        self._gen_queue = {k: q.clone() for k, q in snapshot.gen_queue.items()}
+        self._input_queue = {
+            k: q.clone() for k, q in snapshot.input_queue.items()
+        }
+        self._net_queue = {k: q.clone() for k, q in snapshot.net_queue.items()}
+        self._suspended_until = dict(snapshot.suspended_until)
+        if plan_changed:
+            self._refresh_plan_constants()
 
     def replace_plan(self, new_plan: PhysicalPlan) -> None:
         """Swap in a re-planned physical plan (Section 4.3).

@@ -110,3 +110,23 @@ class StateStore:
 
     def stage_names(self) -> list[str]:
         return sorted(self._partitions)
+
+    def snapshot(self) -> dict[str, list[StatePartition]]:
+        """Deep copy of every partition, for adaptation rollback."""
+        return {
+            name: [
+                StatePartition(p.stage_name, p.site, p.size_mb)
+                for p in parts
+            ]
+            for name, parts in self._partitions.items()
+        }
+
+    def restore(self, snapshot: dict[str, list[StatePartition]]) -> None:
+        """Restore a :meth:`snapshot` exactly (sizes and locations)."""
+        self._partitions = {
+            name: [
+                StatePartition(p.stage_name, p.site, p.size_mb)
+                for p in parts
+            ]
+            for name, parts in snapshot.items()
+        }

@@ -72,5 +72,18 @@ class ReplanningError(AdaptationError):
     """No safe alternative plan exists (e.g. incompatible stateful sub-plans)."""
 
 
+class AdaptationRollbackError(AdaptationError):
+    """An adaptation action failed mid-flight and its snapshot was restored.
+
+    Raised by the transactional executor when post-apply verification finds
+    the system inconsistent (e.g. a site died while a state transfer was in
+    flight).  The rollback itself has already happened when this propagates.
+    """
+
+
 class SimulationError(WaspError):
     """The simulation kernel was driven into an invalid configuration."""
+
+
+class ChaosError(WaspError):
+    """A chaos-injection fault spec is invalid or cannot be applied."""

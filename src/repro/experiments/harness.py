@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..baselines.variants import VariantSpec
 from ..config import WaspConfig
@@ -34,6 +35,9 @@ from ..sim.recorder import RunRecorder, TickSample
 from ..sim.rng import RngRegistry
 from ..sim.schedule import Schedule
 from ..workloads.queries import BenchmarkQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..chaos.injector import ChaosInjector
 
 
 @dataclass(frozen=True)
@@ -184,10 +188,14 @@ class ExperimentRun:
             )
 
         self.clock = SimClock(self.config.tick_s)
+        # Skip-sites comes from the topology's live failed flags, not the
+        # harness's scripted-failure set: chaos-injected crashes must also
+        # be excluded from a checkpoint round.
         self.clock.every(
             self.config.checkpoint_interval_s,
             lambda now: self.checkpoints.checkpoint_all(
-                now, skip_sites=self._failed_now
+                now,
+                skip_sites={s.name for s in self.topology if s.failed},
             ),
             name="checkpoints",
         )
@@ -219,6 +227,7 @@ class ExperimentRun:
         self._failed_now: set[str] = set()
         self._straggling_now: set[str] = set()
         self._fail_start_s: dict[str, float] = {}
+        self._chaos: "ChaosInjector | None" = None
         #: Source-equivalents re-queued by checkpoint-replay after failures
         #: (these events are legitimately processed twice).
         self.replayed_source_equiv = 0.0
@@ -242,6 +251,47 @@ class ExperimentRun:
         for stage_name, total in self._state_mb_override.items():
             if self.state_store.sites(stage_name):
                 self.state_store.set_total_mb(stage_name, total)
+
+    # ------------------------------------------------------------------ #
+    # Chaos
+    # ------------------------------------------------------------------ #
+
+    def attach_chaos(self, injector: "ChaosInjector") -> None:
+        """Wire a :class:`~repro.chaos.ChaosInjector` into this run.
+
+        The injector gets the live topology and checkpoint coordinator,
+        failure callbacks that reuse this harness's recovery-replay
+        semantics, and (when the variant adapts) the controller's
+        mid-transaction hook points.  Chaos ticks after scripted dynamics
+        each step, so chaos faults win conflicting knobs.
+        """
+        from ..chaos.faults import ChaosTarget
+
+        injector.attach(
+            ChaosTarget(
+                topology=self.topology,
+                checkpoints=self.checkpoints,
+                fail_site=self._chaos_fail_site,
+                recover_site=self._chaos_recover_site,
+            ),
+            manager=self.manager,
+        )
+        if injector.recorder is None:
+            injector.recorder = self.recorder
+        self._chaos = injector
+
+    def _chaos_fail_site(self, name: str, now_s: float) -> None:
+        site = self.topology.site(name)
+        if not site.failed:
+            site.fail()
+            self._fail_start_s.setdefault(name, now_s)
+
+    def _chaos_recover_site(self, name: str, now_s: float) -> None:
+        site = self.topology.site(name)
+        # Never recover a site the scripted dynamics still hold down.
+        if site.failed and name not in self._failed_now:
+            site.recover()
+            self._inject_recovery_replay(name, now_s)
 
     # ------------------------------------------------------------------ #
     # Dynamics
@@ -379,6 +429,8 @@ class ExperimentRun:
         """
         t_next = self.clock.now_s + self.config.tick_s
         self._apply_dynamics(t_next)
+        if self._chaos is not None:
+            self._chaos.tick(t_next)
         report = self.runtime.tick(link_budget)
         sample = TickSample(
             t_s=report.t_s,

@@ -78,6 +78,32 @@ class WanMonitor:
             )
         self._last_refresh_s = now_s
 
+    def remeasure(self, src: str, dst: str, now_s: float) -> float:
+        """Re-measure one directed link immediately (WANify-style re-gauging).
+
+        The transactional executor calls this before retrying a failed
+        migration: the stale monitoring-round sample may have promised
+        bandwidth a mid-operation collapse took away, and planning the retry
+        against a fresh sample is what makes the retry meaningful.  Returns
+        the new measurement.
+        """
+        if src == dst:
+            return self._topology.bandwidth_mbps(src, dst)
+        noise = 1.0
+        if self._relative_error > 0:
+            noise = self._rng.uniform(
+                1.0 - self._relative_error, 1.0 + self._relative_error
+            )
+        sample = LinkMeasurement(
+            src=src,
+            dst=dst,
+            bandwidth_mbps=self._topology.bandwidth_mbps(src, dst) * noise,
+            latency_ms=self._topology.latency_ms(src, dst),
+            measured_at_s=now_s,
+        )
+        self._measurements[(src, dst)] = sample
+        return sample.bandwidth_mbps
+
     def bandwidth_mbps(self, src: str, dst: str) -> float:
         """Most recent bandwidth measurement for ``src -> dst``.
 

@@ -92,10 +92,15 @@ class Site:
 
     @property
     def available_slots(self) -> int:
-        """Slots free for new tasks (``A[s]`` in the placement ILP)."""
+        """Slots free for new tasks (``A[s]`` in the placement ILP).
+
+        Never negative: a slot revocation racing an adaptation rollback can
+        transiently leave ``used > total``; the deficit just means no new
+        tasks fit until slots are restored or released.
+        """
         if self._failed:
             return 0
-        return self.total_slots - self._used_slots
+        return max(0, self.total_slots - self._used_slots)
 
     def allocate(self, count: int = 1) -> None:
         """Claim ``count`` slots for running tasks."""
@@ -134,3 +139,34 @@ class Site:
     def release_all(self) -> None:
         """Free every slot (used when a failed site's tasks are torn down)."""
         self._used_slots = 0
+
+    def force_used_slots(self, count: int) -> None:
+        """Set the used-slot counter directly (adaptation rollback only).
+
+        The transactional executor restores the pre-action accounting with
+        this; normal allocation must go through :meth:`allocate`.
+        """
+        if count < 0:
+            raise TopologyError(
+                f"site {self.name!r}: used slots must be >= 0, got {count}"
+            )
+        self._used_slots = count
+
+    def revoke_slots(self, count: int) -> int:
+        """Withdraw up to ``count`` *free* slots (chaos: resource revocation).
+
+        Shrinking the pool makes placements that needed those slots
+        infeasible (the ILP's ``A[s]`` drops), without touching running
+        tasks.  Returns how many slots were actually revoked.
+        """
+        if count < 0:
+            raise TopologyError(f"cannot revoke {count} slots")
+        revoked = min(count, max(0, self.total_slots - self._used_slots))
+        self.total_slots -= revoked
+        return revoked
+
+    def restore_slots(self, count: int) -> None:
+        """Return previously revoked slots to the pool."""
+        if count < 0:
+            raise TopologyError(f"cannot restore {count} slots")
+        self.total_slots += count

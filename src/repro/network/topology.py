@@ -82,6 +82,19 @@ class Topology:
     def total_used_slots(self) -> int:
         return sum(s.used_slots for s in self._sites.values())
 
+    def slot_snapshot(self) -> dict[str, int]:
+        """Used-slot counter per site (adaptation-rollback unit).
+
+        Only the *used* counters are captured: failures, revocations and
+        slowdowns are environment facts that a rollback must not undo.
+        """
+        return {name: s.used_slots for name, s in self._sites.items()}
+
+    def restore_slot_snapshot(self, snapshot: dict[str, int]) -> None:
+        """Restore the used-slot counters captured by :meth:`slot_snapshot`."""
+        for name, used in snapshot.items():
+            self.site(name).force_used_slots(used)
+
     # ------------------------------------------------------------------ #
     # Links
     # ------------------------------------------------------------------ #

@@ -230,3 +230,61 @@ class TestRebalance:
         )
         assert plan.total_mb <= excess + eps
         assert plan.total_mb == pytest.approx(min(excess, deficit), abs=1e-4)
+
+
+class TestZeroBandwidthRejection:
+    """A collapsed link must surface as MigrationError, never as a silent
+    infinite transfer baked into the minmax / overhead estimate."""
+
+    def test_plan_migration_rejects_dead_only_link(self):
+        bw = bandwidth_table({("a", "x"): 0.0}, default=0.0)
+        with pytest.raises(MigrationError):
+            plan_migration("agg", {"a": 10.0}, ["x"], bw)
+
+    def test_plan_migration_routes_around_dead_link(self):
+        """With a live alternative the minmax search avoids the dead pair."""
+        bw = bandwidth_table({("a", "x"): 0.0, ("a", "y"): 10.0}, default=0.0)
+        plan = plan_migration("agg", {"a": 10.0}, ["x", "y"], bw)
+        assert plan.transfers[0].to_site == "y"
+        assert math.isfinite(plan.transition_s)
+
+    def test_random_strategy_rejects_dead_pick(self):
+        bw = bandwidth_table({}, default=0.0)
+        with pytest.raises(MigrationError):
+            plan_migration(
+                "agg", {"a": 10.0}, ["x"], bw,
+                strategy=MigrationStrategy.RANDOM,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_greedy_large_instance_rejects_dead_links(self):
+        moved_out = {f"s{i}": 10.0 for i in range(9)}  # > 7: greedy path
+        moved_in = [f"d{i}" for i in range(9)]
+        with pytest.raises(MigrationError):
+            plan_migration(
+                "agg", moved_out, moved_in, bandwidth_table({}, default=0.0)
+            )
+
+    def test_rebalance_rejects_zero_bandwidth(self):
+        with pytest.raises(MigrationError):
+            rebalance_transfers(
+                "agg", {"a": 60.0}, {"b": 60.0},
+                bandwidth_table({}, default=0.0),
+            )
+
+    def test_rebalance_none_strategy_unaffected(self):
+        """Abandoning state needs no bandwidth, so NONE still succeeds."""
+        plan = rebalance_transfers(
+            "agg", {"a": 60.0}, {"b": 60.0},
+            bandwidth_table({}, default=0.0),
+            strategy=MigrationStrategy.NONE,
+        )
+        assert plan.state_abandoned_mb == pytest.approx(60.0)
+
+    def test_estimate_maps_dead_links_to_inf(self):
+        """The policy's t_adapt estimate degrades to inf (rejected by the
+        t_max check) rather than raising out of the decision loop."""
+        estimate = estimate_transition_s(
+            "agg", {"a": 10.0}, ["x"], bandwidth_table({}, default=0.0)
+        )
+        assert math.isinf(estimate)

@@ -78,3 +78,55 @@ class TestMigrationSupport:
         coordinator.forget_site("agg", "a")
         assert coordinator.record("agg", "a") is None
         assert coordinator.record("agg", "b") is not None
+
+
+class TestSkipSites:
+    def test_skipped_site_keeps_its_stale_snapshot(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        coordinator.checkpoint_all(40.0, skip_sites={"a"})
+        # "a" failed: its record stays at t=10, "b" advances to t=40.
+        assert coordinator.record("agg", "a").taken_at_s == 10.0
+        assert coordinator.record("agg", "b").taken_at_s == 40.0
+
+    def test_skipped_site_without_prior_snapshot_has_none(self, store):
+        coordinator = CheckpointCoordinator(store)
+        records = coordinator.checkpoint_all(10.0, skip_sites={"a"})
+        assert {r.site for r in records} == {"b"}
+        assert coordinator.record("agg", "a") is None
+        assert math.isinf(coordinator.staleness_s("agg", "a", 10.0))
+
+    def test_maybe_checkpoint_forwards_skips(self, store):
+        coordinator = CheckpointCoordinator(store, interval_s=30.0)
+        coordinator.maybe_checkpoint(30.0, skip_sites={"b"})
+        assert coordinator.record("agg", "a") is not None
+        assert coordinator.record("agg", "b") is None
+
+
+class TestCheckpointLossAndRollback:
+    def test_forget_all_at_site(self):
+        store = StateStore()
+        store.initialize_stage("agg", 60.0, ["a", "b"])
+        store.initialize_stage("join", 20.0, ["a"])
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        lost = coordinator.forget_all_at_site("a")
+        assert lost == ["agg", "join"]
+        assert coordinator.record("agg", "a") is None
+        assert coordinator.record("join", "a") is None
+        assert coordinator.record("agg", "b") is not None
+
+    def test_forget_all_at_empty_site_returns_nothing(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        assert coordinator.forget_all_at_site("zzz") == []
+
+    def test_snapshot_restore_roundtrip(self, store):
+        coordinator = CheckpointCoordinator(store)
+        coordinator.checkpoint_all(10.0)
+        snapshot = coordinator.snapshot_records()
+        coordinator.forget_all_at_site("a")
+        coordinator.checkpoint_all(50.0, skip_sites={"a"})
+        coordinator.restore_records(snapshot)
+        assert coordinator.record("agg", "a").taken_at_s == 10.0
+        assert coordinator.record("agg", "b").taken_at_s == 10.0

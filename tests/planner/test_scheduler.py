@@ -156,3 +156,44 @@ class TestFailureEvacuation:
         scheduler.deploy(plan, ASSIGNMENTS)
         assert scheduler.evacuate_failed_sites(plan) == {}
         assert plan.deployed()
+
+    def test_evacuation_releases_failed_slots_wholesale(
+        self, small_topology
+    ):
+        scheduler = Scheduler(small_topology)
+        plan = make_plan()
+        scheduler.deploy(plan, ASSIGNMENTS)
+        assert small_topology.site("dc-1").used_slots == 2
+        small_topology.site("dc-1").fail()
+        scheduler.evacuate_failed_sites(plan)
+        # The site lost the slots anyway; accounting must not leak them.
+        assert small_topology.site("dc-1").used_slots == 0
+        # Surviving sites keep their allocations.
+        assert small_topology.site("edge-x").used_slots == 1
+
+    def test_partial_failure_spares_surviving_tasks(self, small_topology):
+        scheduler = Scheduler(small_topology)
+        plan = make_plan()
+        scheduler.deploy(
+            plan,
+            {
+                "src": {"edge-x": 1},
+                "agg": {"dc-1": 1, "dc-2": 1},
+                "out": {"dc-2": 1},
+            },
+        )
+        small_topology.site("dc-1").fail()
+        lost = scheduler.evacuate_failed_sites(plan)
+        assert lost == {"agg": 1}
+        assert plan.stage("agg").placement() == {"dc-2": 1}
+        assert plan.stage("out").placement() == {"dc-2": 1}
+
+    def test_evacuation_is_idempotent(self, small_topology):
+        scheduler = Scheduler(small_topology)
+        plan = make_plan()
+        scheduler.deploy(plan, ASSIGNMENTS)
+        small_topology.site("dc-1").fail()
+        first = scheduler.evacuate_failed_sites(plan)
+        second = scheduler.evacuate_failed_sites(plan)
+        assert first == {"agg": 1, "out": 1}
+        assert second == {}

@@ -23,11 +23,24 @@ class TestHierarchy:
             errors.MigrationError,
             errors.AdaptationError,
             errors.ReplanningError,
+            errors.AdaptationRollbackError,
             errors.SimulationError,
+            errors.ChaosError,
         ],
     )
     def test_everything_is_a_wasp_error(self, exc):
         assert issubclass(exc, errors.WaspError)
+
+    def test_every_public_error_subclasses_wasp_error(self):
+        """The single-``except WaspError`` contract covers the full module."""
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == errors.__name__
+            ):
+                assert issubclass(obj, errors.WaspError), name
 
     def test_unknown_site_subclasses_topology(self):
         assert issubclass(errors.UnknownSiteError, errors.TopologyError)
@@ -48,6 +61,15 @@ class TestHierarchy:
 
     def test_replanning_subclasses_adaptation(self):
         assert issubclass(errors.ReplanningError, errors.AdaptationError)
+
+    def test_rollback_subclasses_adaptation(self):
+        assert issubclass(
+            errors.AdaptationRollbackError, errors.AdaptationError
+        )
+
+    def test_chaos_is_a_direct_wasp_error(self):
+        assert issubclass(errors.ChaosError, errors.WaspError)
+        assert not issubclass(errors.ChaosError, errors.SimulationError)
 
     def test_cycle_subclasses_plan(self):
         assert issubclass(errors.CycleError, errors.PlanError)
