@@ -1,0 +1,37 @@
+"""Seeded performance microbenchmarks for the fluid engine.
+
+Every paper figure replays thousands of engine ticks per variant, so the
+hot loop in :meth:`repro.engine.runtime.EngineRuntime.tick` dominates the
+wall time of the whole evaluation.  This package measures it at three
+granularities, each fully seeded and deterministic:
+
+* **queue ops** - raw :class:`~repro.engine.queues.FluidQueue`
+  push/pop/drop throughput (the innermost allocation-sensitive layer);
+* **single tick** - a deployed Figure-8 runtime advanced tick by tick with
+  no controller attached (the pure dataflow hot path);
+* **full scenario** - a complete :class:`~repro.experiments.harness.
+  ExperimentRun` of the Section-8.4 bottleneck scenario with the adapting
+  WASP variant (planner + controller + engine, what the figures actually
+  pay for);
+* **snapshot** - :meth:`EngineRuntime.mutation_snapshot` / restore cost on
+  a loaded runtime (the transactional-adaptation overhead).
+
+Run it from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.perf --mode smoke
+    PYTHONPATH=src python -m benchmarks.perf --mode full \
+        --baseline BENCH_engine.json --out BENCH_engine.json
+
+The runner emits ``BENCH_engine.json``: ticks/sec, wall times, peak queue
+and parcel counts, and snapshot cost, next to the pre-optimization baseline
+so the speedup is tracked in-repo.
+"""
+
+from .bench import (  # noqa: F401
+    BenchResult,
+    bench_full_scenario,
+    bench_queue_ops,
+    bench_single_tick,
+    bench_snapshot,
+    run_all,
+)

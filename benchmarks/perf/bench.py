@@ -1,0 +1,259 @@
+"""The microbenchmarks themselves (all seeded, all deterministic).
+
+Timing uses :func:`time.perf_counter` around fixed amounts of *work* (a
+fixed op count or a fixed simulated duration), so results are comparable
+across commits; only the wall time varies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.variants import wasp
+from repro.engine.queues import FluidQueue
+from repro.engine.runtime import EngineRuntime
+from repro.experiments.harness import ExperimentRun
+from repro.experiments.scenarios import bottleneck_dynamics, fig8_scenario
+from repro.sim.rng import RngRegistry
+
+#: Seed shared by every benchmark (same world across commits).
+BENCH_SEED = 42
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurements, JSON-serializable via ``__dict__``."""
+
+    name: str
+    wall_s: float
+    #: primary throughput metric (ops/sec or ticks/sec)
+    rate_per_s: float
+    unit: str
+    detail: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "rate_per_s": self.rate_per_s,
+            "unit": self.unit,
+            "detail": dict(self.detail),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Queue ops
+# --------------------------------------------------------------------------- #
+
+
+def bench_queue_ops(ops: int = 200_000) -> BenchResult:
+    """Tight push/pop/drop cycles on one FluidQueue.
+
+    The access pattern mirrors the engine's: pushes at advancing gen times
+    (merging adjacent parcels), fractional pops, and occasional SLO drops -
+    the three ops `_run_stage` and `_transfer_stage_flows` hammer.
+    """
+    queue = FluidQueue()
+    t0 = time.perf_counter()
+    now = 0.0
+    buf: list = []
+    pop_into = getattr(queue, "pop_into", None)
+    for i in range(ops):
+        now += 0.25
+        queue.push(100.0 + (i % 7), now)
+        if i % 2 == 1:
+            if pop_into is not None:
+                buf.clear()
+                pop_into(150.0, buf)
+            else:
+                queue.pop(150.0)
+        if i % 64 == 63:
+            queue.drop_oldest(50.0)
+        if i % 256 == 255:
+            queue.drop_older_than(now - 16.0)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="queue_ops",
+        wall_s=wall,
+        rate_per_s=ops / wall if wall > 0 else float("inf"),
+        unit="ops/s",
+        detail={"ops": float(ops), "residual_count": queue.count},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Single tick (engine only, no controller)
+# --------------------------------------------------------------------------- #
+
+
+def _build_run(variant=None) -> ExperimentRun:
+    scenario = fig8_scenario("topk-topics")
+    rngs = RngRegistry(BENCH_SEED)
+    topology = scenario.make_topology(rngs)
+    query = scenario.make_query(topology, rngs)
+    return ExperimentRun(topology, query, variant or wasp(), rngs=rngs)
+
+
+def _queue_stats(runtime: EngineRuntime) -> tuple[float, int]:
+    """(total queued events, total parcel objects) across all queue tables."""
+    events = 0.0
+    parcels = 0
+    for table in (
+        runtime._gen_queue,
+        runtime._input_queue,
+        runtime._net_queue,
+    ):
+        for queue in table.values():
+            events += queue.count
+            parcels += len(queue)
+    return events, parcels
+
+
+def bench_single_tick(ticks: int = 600) -> BenchResult:
+    """The engine hot loop alone: tick a deployed Fig-8 runtime.
+
+    The run's controller/checkpoint clock callbacks are bypassed - this
+    times ``Runtime.tick()`` and nothing else.  The workload steps at
+    t=300s so backlog builds up and queues stay non-trivial.
+    """
+    run = _build_run()
+    run.set_dynamics(bottleneck_dynamics())
+    runtime = run.runtime
+    dt = run.config.tick_s
+    peak_events, peak_parcels = 0.0, 0
+    t0 = time.perf_counter()
+    for i in range(ticks):
+        run._apply_dynamics((i + 1) * dt)
+        runtime.tick()
+        if i % 16 == 0:
+            events, parcels = _queue_stats(runtime)
+            peak_events = max(peak_events, events)
+            peak_parcels = max(peak_parcels, parcels)
+    wall = time.perf_counter() - t0
+    events, parcels = _queue_stats(runtime)
+    peak_events = max(peak_events, events)
+    peak_parcels = max(peak_parcels, parcels)
+    return BenchResult(
+        name="single_tick",
+        wall_s=wall,
+        rate_per_s=ticks / wall if wall > 0 else float("inf"),
+        unit="ticks/s",
+        detail={
+            "ticks": float(ticks),
+            "peak_queued_events": peak_events,
+            "peak_parcels": float(peak_parcels),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Full scenario (planner + controller + engine)
+# --------------------------------------------------------------------------- #
+
+
+def bench_full_scenario(duration_s: float = 600.0) -> BenchResult:
+    """One Figure-8-style ExperimentRun end to end (WASP variant).
+
+    This is what every figure regeneration pays per variant: dynamics,
+    engine ticks, metric collection, checkpoint rounds and adaptation
+    rounds on the paper cadences.
+    """
+    run = _build_run()
+    ticks = int(duration_s / run.config.tick_s)
+    peak_events, peak_parcels = 0.0, 0
+    t0 = time.perf_counter()
+    run.set_dynamics(bottleneck_dynamics())
+    for i in range(ticks):
+        run.step()
+        if i % 16 == 0:
+            events, parcels = _queue_stats(run.runtime)
+            peak_events = max(peak_events, events)
+            peak_parcels = max(peak_parcels, parcels)
+    wall = time.perf_counter() - t0
+    recorder = run.recorder
+    return BenchResult(
+        name="full_scenario",
+        wall_s=wall,
+        rate_per_s=ticks / wall if wall > 0 else float("inf"),
+        unit="ticks/s",
+        detail={
+            "ticks": float(ticks),
+            "duration_s": duration_s,
+            "peak_queued_events": peak_events,
+            "peak_parcels": float(peak_parcels),
+            "total_processed": recorder.total_processed(),
+            "adaptations": float(len(recorder.adaptations)),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot cost (transactional adaptation)
+# --------------------------------------------------------------------------- #
+
+
+def bench_snapshot(rounds: int = 200, warm_ticks: int = 350) -> BenchResult:
+    """mutation_snapshot + restore cycles on a loaded runtime.
+
+    The runtime first ticks through the Fig-8 workload surge so the queue
+    tables are populated; each round then snapshots, mutates one queue (so
+    copy-on-write implementations cannot skip all work), and restores.
+    """
+    run = _build_run()
+    run.set_dynamics(bottleneck_dynamics())
+    dt = run.config.tick_s
+    for i in range(warm_ticks):
+        run._apply_dynamics((i + 1) * dt)
+        run.runtime.tick()
+    runtime = run.runtime
+    events, parcels = _queue_stats(runtime)
+    source = runtime.plan.source_stages()[0]
+    key = (source.name, source.pinned_site)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        snapshot = runtime.mutation_snapshot()
+        queue = runtime._gen_queue[key]
+        queue.push(1.0, runtime.now_s)
+        queue.drop_oldest(1.0)
+        runtime.restore_mutation_snapshot(snapshot)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="snapshot",
+        wall_s=wall,
+        rate_per_s=rounds / wall if wall > 0 else float("inf"),
+        unit="snapshots/s",
+        detail={
+            "rounds": float(rounds),
+            "queued_events_at_snapshot": events,
+            "parcels_at_snapshot": float(parcels),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+
+#: Work sizes per mode: (queue ops, single-tick ticks, scenario seconds,
+#: snapshot rounds).
+MODES = {
+    "smoke": (20_000, 120, 120.0, 30),
+    "full": (200_000, 600, 600.0, 200),
+}
+
+
+def run_all(mode: str = "full") -> list[BenchResult]:
+    """Run every benchmark at the given mode's work sizes."""
+    try:
+        ops, ticks, duration_s, rounds = MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown mode {mode!r}; choose from {sorted(MODES)}"
+        ) from None
+    return [
+        bench_queue_ops(ops),
+        bench_single_tick(ticks),
+        bench_full_scenario(duration_s),
+        bench_snapshot(rounds),
+    ]

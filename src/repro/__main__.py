@@ -84,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="bottleneck")
     run_p.add_argument("--duration", type=float, default=900.0)
     run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each variant with cProfile and print the hot spots",
+    )
 
     fig_p = sub.add_parser("figures", help="regenerate a paper figure/table")
     fig_p.add_argument("which", choices=FIGURES)
@@ -106,6 +111,38 @@ def _resolve_variants(names: list[str] | None) -> list[VariantSpec]:
     return specs
 
 
+def _profiled_run(run: ExperimentRun, duration: float, dynamics):
+    """Run under cProfile; print wall time, tick rate and top hot spots."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    recorder = run.run(duration, dynamics)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    ticks = duration / run.config.tick_s
+    print(
+        f"  profile: {wall:.3f}s wall, "
+        f"{ticks / wall if wall > 0 else float('inf'):.0f} ticks/s"
+    )
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(15)
+    # Skip pstats' preamble; indent the table under the variant header.
+    lines = out.getvalue().splitlines()
+    start = next(
+        (i for i, line in enumerate(lines) if "ncalls" in line), 0
+    )
+    for line in lines[start:]:
+        if line.strip():
+            print(f"  {line}")
+    return recorder
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     variants = _resolve_variants(args.variant)
     print(
@@ -118,7 +155,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         query = make_query_by_name(args.query)(topology, rngs)
         run = ExperimentRun(topology, query, variant, rngs=rngs)
         dynamics = DYNAMICS[args.dynamics](rngs)
-        recorder = run.run(args.duration, dynamics)
+        if args.profile:
+            recorder = _profiled_run(run, args.duration, dynamics)
+        else:
+            recorder = run.run(args.duration, dynamics)
         print(f"\n--- {variant.name} ---")
         print(f"  mean delay      : {recorder.mean_delay():10.2f} s")
         print(f"  p95 delay       : {recorder.delay_percentile(95):10.2f} s")

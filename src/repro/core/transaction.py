@@ -100,10 +100,10 @@ class AdaptationTransaction:
             # clear them so the replanner may propose that plan again later
             # (deploy refuses stages that already carry tasks).
             for stage in abandoned_plan.stages.values():
-                stage.tasks.clear()
+                stage.clear_tasks()
         for name, tasks in self.stage_tasks.items():
             if name in plan.stages:
-                plan.stages[name].tasks[:] = list(tasks)
+                plan.stages[name].set_tasks(list(tasks))
         manager.runtime.topology.restore_slot_snapshot(self.used_slots)
         manager.state_store.restore(self.state_partitions)
         manager.checkpoints.restore_records(self.checkpoint_records)

@@ -76,6 +76,34 @@ class MetricsWindow:
         return self.t_end_s - self.t_start_s
 
 
+def _backlog_by_stage(report: TickReport) -> dict[str, float]:
+    """Total input backlog per stage in one report."""
+    totals: dict[str, float] = {}
+    for (stage, _), v in report.input_backlog.items():
+        totals[stage] = totals.get(stage, 0.0) + v
+    return totals
+
+
+def _site_backlog_by_stage(report: TickReport) -> dict[str, dict[str, float]]:
+    """Per-site input backlog grouped by stage in one report."""
+    grouped: dict[str, dict[str, float]] = {}
+    for (stage, site), v in report.input_backlog.items():
+        grouped.setdefault(stage, {})[site] = v
+    return grouped
+
+
+def _net_backlog_by_stage(
+    report: TickReport,
+) -> dict[str, dict[tuple[str, str], float]]:
+    """Inbound WAN backlog per (src_site, dst_site) grouped by dst stage."""
+    grouped: dict[str, dict[tuple[str, str], float]] = {}
+    for (_, dst, su, sd), v in report.net_backlog.items():
+        d = grouped.setdefault(dst, {})
+        link = (su, sd)
+        d[link] = d.get(link, 0.0) + v
+    return grouped
+
+
 class GlobalMetricMonitor:
     """Accumulates tick reports into per-interval metric windows."""
 
@@ -122,61 +150,70 @@ class GlobalMetricMonitor:
             tick_len = reports[0].t_s or 1.0
         span = max(tick_len * len(reports), 1e-9)
 
-        offered = sum(r.offered for r in reports)
+        # Single pass over the reports, grouping by stage as we go.  Per-key
+        # accumulation order is unchanged (report order, then dict insertion
+        # order within a report), and skipped absent-key terms are exact
+        # no-ops on the float sums, so the window aggregates are bit-for-bit
+        # the ones the per-stage rescan produced.
+        offered = 0.0
         source_gen: dict[str, float] = {}
-        for r in reports:
-            for name, gen in r.offered_by_source.items():
-                source_gen[name] = source_gen.get(name, 0.0) + gen
-        source_gen_eps = {k: v / span for k, v in source_gen.items()}
-
+        processed_by: dict[str, float] = {}
+        arrived_by: dict[str, float] = {}
+        emitted_by: dict[str, float] = {}
+        by_site_by: dict[str, dict[str, float]] = {}
+        cap_site_by: dict[str, dict[str, float]] = {}
+        net_in_by: dict[str, dict[tuple[str, str], float]] = {}
+        sink_events = 0.0
+        delay_weight = 0.0
         stage_names: set[str] = set()
         for r in reports:
-            stage_names.update(r.processed)
-            stage_names.update(r.arrived)
-            stage_names.update(r.emitted)
+            offered += r.offered
+            sink_events += r.sink_events
+            delay_weight += r.sink_delay_weighted_s
+            for name, gen in r.offered_by_source.items():
+                source_gen[name] = source_gen.get(name, 0.0) + gen
+            for name, v in r.processed.items():
+                processed_by[name] = processed_by.get(name, 0.0) + v
+            for name, v in r.arrived.items():
+                arrived_by[name] = arrived_by.get(name, 0.0) + v
+            for name, v in r.emitted.items():
+                emitted_by[name] = emitted_by.get(name, 0.0) + v
+            for (stage, site), value in r.processed_by_site.items():
+                d = by_site_by.setdefault(stage, {})
+                d[site] = d.get(site, 0.0) + value
+            for (stage, site), value in r.capacity_by_site.items():
+                d = cap_site_by.setdefault(stage, {})
+                d[site] = d.get(site, 0.0) + value
+            for (_, dst, su, sd), v in r.net_sent.items():
+                d = net_in_by.setdefault(dst, {})
+                link = (su, sd)
+                d[link] = d.get(link, 0.0) + v
             stage_names.update(name for name, _ in r.input_backlog)
             stage_names.update(key[1] for key in r.net_backlog)
-            stage_names.update(key[1] for key in r.net_sent)
+        stage_names.update(processed_by)
+        stage_names.update(arrived_by)
+        stage_names.update(emitted_by)
+        stage_names.update(net_in_by)
+        source_gen_eps = {k: v / span for k, v in source_gen.items()}
+
+        first, last = reports[0], reports[-1]
+        backlog_first = _backlog_by_stage(first)
+        backlog_last = _backlog_by_stage(last)
+        site_backlog_last = _site_backlog_by_stage(last)
+        net_first_by = _net_backlog_by_stage(first)
+        net_last_by = _net_backlog_by_stage(last)
 
         stages: dict[str, StageMetrics] = {}
-        first, last = reports[0], reports[-1]
         for name in sorted(stage_names):
-            processed = sum(r.processed.get(name, 0.0) for r in reports)
-            arrived = sum(r.arrived.get(name, 0.0) for r in reports)
-            emitted = sum(r.emitted.get(name, 0.0) for r in reports)
-            by_site: dict[str, float] = {}
-            cap_site: dict[str, float] = {}
-            for r in reports:
-                for (stage, site), value in r.processed_by_site.items():
-                    if stage == name:
-                        by_site[site] = by_site.get(site, 0.0) + value
-                for (stage, site), value in r.capacity_by_site.items():
-                    if stage == name:
-                        cap_site[site] = cap_site.get(site, 0.0) + value
-            input_backlog_last = sum(
-                v for (stage, _), v in last.input_backlog.items() if stage == name
-            )
-            backlog_by_site = {
-                site: v
-                for (stage, site), v in last.input_backlog.items()
-                if stage == name
-            }
-            input_backlog_first = sum(
-                v for (stage, _), v in first.input_backlog.items() if stage == name
-            )
-            net_last: dict[tuple[str, str], float] = {}
-            net_first: dict[tuple[str, str], float] = {}
-            net_in: dict[tuple[str, str], float] = {}
-            for (src, dst, su, sd), v in last.net_backlog.items():
-                if dst == name:
-                    net_last[(su, sd)] = net_last.get((su, sd), 0.0) + v
-            for (src, dst, su, sd), v in first.net_backlog.items():
-                if dst == name:
-                    net_first[(su, sd)] = net_first.get((su, sd), 0.0) + v
-            for r in reports:
-                for (src, dst, su, sd), v in r.net_sent.items():
-                    if dst == name:
-                        net_in[(su, sd)] = net_in.get((su, sd), 0.0) + v
+            processed = processed_by.get(name, 0.0)
+            emitted = emitted_by.get(name, 0.0)
+            by_site = by_site_by.get(name, {})
+            cap_site = cap_site_by.get(name, {})
+            input_backlog_last = backlog_last.get(name, 0.0)
+            input_backlog_first = backlog_first.get(name, 0.0)
+            net_last = net_last_by.get(name, {})
+            net_first = net_first_by.get(name, {})
+            net_in = net_in_by.get(name, {})
             growth = {
                 link: net_last.get(link, 0.0) - net_first.get(link, 0.0)
                 for link in set(net_last) | set(net_first)
@@ -185,25 +222,23 @@ class GlobalMetricMonitor:
             stages[name] = StageMetrics(
                 stage=name,
                 lambda_p=lambda_p,
-                lambda_i=arrived / span,
+                lambda_i=arrived_by.get(name, 0.0) / span,
                 lambda_o=emitted / span,
                 selectivity=(emitted / processed) if processed > 0 else 0.0,
                 processed_by_site={k: v / span for k, v in by_site.items()},
                 capacity_by_site={k: v / span for k, v in cap_site.items()},
                 input_backlog=input_backlog_last,
                 input_backlog_growth=input_backlog_last - input_backlog_first,
-                input_backlog_by_site=backlog_by_site,
+                input_backlog_by_site=site_backlog_last.get(name, {}),
                 net_backlog=net_last,
                 net_backlog_growth=growth,
                 net_inflow={k: v / span for k, v in net_in.items()},
             )
 
-        sink_events = sum(r.sink_events for r in reports)
         if sink_source_equiv is not None:
             sink_equiv = sink_source_equiv(sink_events)
         else:
             sink_equiv = sink_events
-        delay_weight = sum(r.sink_delay_weighted_s for r in reports)
         mean_delay = delay_weight / sink_events if sink_events > 0 else float("nan")
 
         return MetricsWindow(

@@ -51,6 +51,12 @@ class Stage:
     operators: list[OperatorSpec]
     tasks: list[Task] = field(default_factory=list)
     initial_parallelism: int = 0
+    #: Monotonic mutation counter.  Every task-set change bumps it, so the
+    #: engine can cache anything derived from the placement (sorted site
+    #: lists, fan-out fractions, per-site task counts) and invalidate on
+    #: version mismatch.  All task mutations must go through the methods
+    #: below - never mutate ``tasks`` directly.
+    version: int = 0
     _task_counter: itertools.count = field(
         default_factory=itertools.count, repr=False
     )
@@ -140,13 +146,30 @@ class Stage:
             site=site,
         )
         self.tasks.append(task)
+        self.version += 1
         return task
 
     def remove_task_at(self, site: str) -> Task:
         for i, task in enumerate(self.tasks):
             if task.site == site:
+                self.version += 1
                 return self.tasks.pop(i)
         raise PlanError(f"stage {self.name!r} has no task at site {site!r}")
+
+    def remove_task(self, task: Task) -> None:
+        """Remove one specific task (failure evacuation)."""
+        self.tasks.remove(task)
+        self.version += 1
+
+    def set_tasks(self, tasks: list[Task]) -> None:
+        """Replace the whole task set (transaction rollback)."""
+        self.tasks[:] = tasks
+        self.version += 1
+
+    def clear_tasks(self) -> None:
+        """Drop every task (undeploy / abandoned-plan cleanup)."""
+        self.tasks.clear()
+        self.version += 1
 
     def state_mb_per_task(self) -> float:
         """Per-task state share under balanced partitioning (Section 7)."""
@@ -170,6 +193,11 @@ class PhysicalPlan:
             self._down[src].append(dst)
             self._up[dst].append(src)
         self._topo = self._stage_topological_order()
+        # The stage graph is immutable after construction (only task sets
+        # change), so the derived stage lists are built exactly once.
+        self._topo_stages = [self.stages[name] for name in self._topo]
+        self._source_stages = [s for s in self._topo_stages if s.is_source]
+        self._sink_stages = [s for s in self._topo_stages if s.is_sink]
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -240,7 +268,8 @@ class PhysicalPlan:
             raise PlanError(f"unknown operator {op_name!r}") from None
 
     def topological_stages(self) -> list[Stage]:
-        return [self.stages[name] for name in self._topo]
+        """Stages in topological order (cached; do not mutate)."""
+        return self._topo_stages
 
     def upstream_stages(self, name: str) -> list[Stage]:
         return [self.stages[u] for u in self._up[name]]
@@ -249,10 +278,21 @@ class PhysicalPlan:
         return [self.stages[d] for d in self._down[name]]
 
     def source_stages(self) -> list[Stage]:
-        return [s for s in self.topological_stages() if s.is_source]
+        """Source stages in topological order (cached; do not mutate)."""
+        return self._source_stages
 
     def sink_stages(self) -> list[Stage]:
-        return [s for s in self.topological_stages() if s.is_sink]
+        """Sink stages in topological order (cached; do not mutate)."""
+        return self._sink_stages
+
+    def mutation_version(self) -> int:
+        """Monotonic counter over every stage's task mutations.
+
+        Stage versions only ever increase, so the sum strictly increases on
+        any placement change anywhere in the plan - a cheap validity token
+        for placement-derived caches.
+        """
+        return sum(s.version for s in self.stages.values())
 
     def __iter__(self) -> Iterator[Stage]:
         return iter(self.topological_stages())

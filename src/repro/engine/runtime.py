@@ -26,6 +26,7 @@ that carries over queues and state for common sub-plans.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,13 +34,7 @@ from ..config import WaspConfig
 from ..errors import SimulationError
 from ..network.topology import Topology
 from .physical import PhysicalPlan, Stage
-from .queues import (
-    FluidQueue,
-    Parcel,
-    age_parcels,
-    parcels_total,
-    scale_parcels,
-)
+from .queues import FluidQueue, Parcel
 
 #: Conversion: megabits to bytes.
 MBIT_BYTES = 1_000_000 / 8
@@ -65,10 +60,14 @@ class FlowKey:
 
 @dataclass
 class RuntimeSnapshot:
-    """Deep copy of the engine's mutable execution state (rollback unit).
+    """Copy-on-write capture of the engine's mutable state (rollback unit).
 
-    The snapshot keeps its own clones of every queue so restoring twice (or
-    restoring after further mutation) is always exact.
+    The snapshot holds :meth:`FluidQueue.clone_cow` clones: each queue's
+    parcel storage is shared with the live runtime until either side
+    mutates it, so snapshotting is O(queues) instead of O(parcels) and an
+    adaptation attempt only pays deep copies for the queues it actually
+    touches.  Restoring hands out fresh COW clones too, so restoring twice
+    (or restoring after further mutation) is always exact.
     """
 
     plan: PhysicalPlan
@@ -112,6 +111,89 @@ class TickReport:
         return self.sink_delay_weighted_s / self.sink_events
 
 
+class _DownstreamExec:
+    """Precomputed fan-out of one stage edge (balanced partitioning)."""
+
+    __slots__ = ("name", "deployed", "shares")
+
+    def __init__(self, down: Stage) -> None:
+        placement = down.placement()
+        total_tasks = sum(placement.values())
+        self.name = down.name
+        self.deployed = total_tasks > 0
+        #: (dst_site, task fraction, input-queue key) in sorted site order.
+        self.shares = [
+            (site, placement[site] / total_tasks, (down.name, site))
+            for site in sorted(placement)
+        ]
+
+
+class _StageExec:
+    """Per-stage execution record precomputed from the physical plan.
+
+    Everything here is derived from the plan structure and the current
+    placement: chained selectivity/cost, sorted per-site task rows (with
+    the site objects and queue keys pre-resolved) and downstream fan-out
+    fractions.  Site *state* (failures, slowdowns) is read live from the
+    cached :class:`~repro.network.site.Site` objects, which are stable for
+    the lifetime of the topology.
+    """
+
+    __slots__ = (
+        "stage", "name", "is_source", "is_sink", "selectivity", "cost",
+        "output_event_bytes", "pinned_site", "gen_key", "site_rows",
+        "downstream",
+    )
+
+    def __init__(self, stage: Stage, topology: Topology) -> None:
+        self.stage = stage
+        self.name = stage.name
+        self.is_source = stage.is_source
+        self.is_sink = stage.is_sink
+        self.selectivity = stage.selectivity
+        self.cost = stage.cost
+        self.output_event_bytes = stage.output_event_bytes
+        self.pinned_site = stage.pinned_site
+        self.gen_key = (stage.name, stage.pinned_site)
+        placement = stage.placement()
+        #: (site, Site object, n_tasks, queue key) in sorted site order.
+        self.site_rows = [
+            (site, topology.site(site), placement[site], (stage.name, site))
+            for site in sorted(placement)
+        ]
+        self.downstream: list[_DownstreamExec] = []
+
+
+class _PlanCache:
+    """Execution records for one (plan, mutation version) combination.
+
+    The cache is valid while the runtime executes the *same plan object*
+    at the *same mutation version*; any task mutation anywhere (reassign,
+    rescale, failure evacuation, transaction rollback) bumps a stage's
+    monotonic version counter and invalidates it.  The plan reference is
+    held strongly so an ``is`` check can never be confused by object-id
+    reuse.
+    """
+
+    __slots__ = ("plan", "version", "topo", "sources")
+
+    def __init__(
+        self, plan: PhysicalPlan, version: int, topology: Topology
+    ) -> None:
+        self.plan = plan
+        self.version = version
+        self.topo = [
+            _StageExec(stage, topology)
+            for stage in plan.topological_stages()
+        ]
+        for ex in self.topo:
+            ex.downstream = [
+                _DownstreamExec(down)
+                for down in plan.downstream_stages(ex.name)
+            ]
+        self.sources = [ex for ex in self.topo if ex.is_source]
+
+
 class EngineRuntime:
     """Executes one physical plan on a topology, one tick at a time."""
 
@@ -137,6 +219,13 @@ class EngineRuntime:
         self._gen_queue: dict[tuple[str, str], FluidQueue] = {}
         self._input_queue: dict[tuple[str, str], FluidQueue] = {}
         self._net_queue: dict[tuple[str, str, str, str], FluidQueue] = {}
+        #: Per src-stage sorted lists of ``_net_queue`` keys, so the per-tick
+        #: transfer pass never scans (and re-sorts) the whole flow table.
+        self._net_index: dict[str, list[tuple[str, str, str, str]]] = {}
+        #: Version-checked execution records (see :class:`_PlanCache`).
+        self._exec_cache: _PlanCache | None = None
+        #: Reused parcel buffer for the tick loop's pop/push cycles.
+        self._pop_buf: list[Parcel] = []
 
         self._suspended_until: dict[str, float] = {}
         self._stage_equiv_factor: dict[str, float] = {}
@@ -212,6 +301,39 @@ class EngineRuntime:
             table[key] = queue
         return queue
 
+    def _net_q(self, key: tuple[str, str, str, str]) -> FluidQueue:
+        """Get-or-create a WAN flow queue, keeping the per-stage index."""
+        queue = self._net_queue.get(key)
+        if queue is None:
+            queue = FluidQueue()
+            self._net_queue[key] = queue
+            insort(self._net_index.setdefault(key[0], []), key)
+        return queue
+
+    def _rebuild_net_index(self) -> None:
+        """Recompute the per-stage flow index after wholesale changes
+        (snapshot restore, flow redirection, plan replacement)."""
+        index: dict[str, list[tuple[str, str, str, str]]] = {}
+        for key in self._net_queue:
+            index.setdefault(key[0], []).append(key)
+        for keys in index.values():
+            keys.sort()
+        self._net_index = index
+
+    def _plan_cache(self) -> _PlanCache:
+        """Return valid execution records, rebuilding on plan mutation."""
+        plan = self._plan
+        version = plan.mutation_version()
+        cache = self._exec_cache
+        if (
+            cache is None
+            or cache.plan is not plan
+            or cache.version != version
+        ):
+            cache = _PlanCache(plan, version, self._topology)
+            self._exec_cache = cache
+        return cache
+
     def input_backlog(self, stage_name: str, site: str | None = None) -> float:
         """Events queued at a stage's input (optionally one site only)."""
         total = 0.0
@@ -273,17 +395,19 @@ class EngineRuntime:
 
     def redirect_flows(self, stage_name: str, from_site: str, to_site: str) -> None:
         """Repoint in-flight WAN queues targeting a migrated task."""
+        changed = False
         for key in list(self._net_queue):
             src_stage, dst_stage, su, sd = key
             if dst_stage != stage_name or sd != from_site:
                 continue
             queue = self._net_queue.pop(key)
+            changed = True
             if not queue:
                 continue
-            target = self._queue(
-                self._net_queue, (src_stage, dst_stage, su, to_site)
-            )
+            target = self._net_q((src_stage, dst_stage, su, to_site))
             target.push_parcels(queue.pop(queue.count))
+        if changed:
+            self._rebuild_net_index()
 
     def relay_queue(self, stage_name: str, from_site: str, to_site: str) -> None:
         """Send a terminated task's queued input to a surviving task over the
@@ -291,9 +415,7 @@ class EngineRuntime:
         src = self._input_queue.get((stage_name, from_site))
         if src is None or not src:
             return
-        relay = self._queue(
-            self._net_queue, (stage_name, stage_name, from_site, to_site)
-        )
+        relay = self._net_q((stage_name, stage_name, from_site, to_site))
         relay.push_parcels(src.pop(src.count))
 
     def rehome_to_placement(
@@ -331,21 +453,24 @@ class EngineRuntime:
                 # Queued input at a vacated site relays over the WAN to a
                 # live task (Section 4.2's "relayed data streams"); the
                 # relay flow pays for the link like any other traffic.
-                relay = self._queue(
-                    self._net_queue,
-                    (stage_name, stage_name, site, target_for(site)),
+                relay = self._net_q(
+                    (stage_name, stage_name, site, target_for(site))
                 )
                 relay.push_parcels(queue.pop(queue.count))
+        changed = False
         for key in list(self._net_queue):
             src_stage, dst_stage, su, sd = key
             if dst_stage != stage_name or sd in live:
                 continue
             queue = self._net_queue.pop(key)
+            changed = True
             if queue:
-                target = self._queue(
-                    self._net_queue, (src_stage, dst_stage, su, target_for(sd))
+                target = self._net_q(
+                    (src_stage, dst_stage, su, target_for(sd))
                 )
                 target.push_parcels(queue.pop(queue.count))
+        if changed:
+            self._rebuild_net_index()
 
     def inject_replay(
         self, stage_name: str, site: str, events: float, gen_time_s: float
@@ -374,13 +499,17 @@ class EngineRuntime:
         The transactional adaptation executor calls this before applying an
         action; :meth:`restore_mutation_snapshot` puts the engine back
         exactly (queues, suspensions, plan reference) if the action has to
-        be rolled back mid-flight.
+        be rolled back mid-flight.  Queues are captured copy-on-write: only
+        the ones the adaptation attempt actually mutates are ever deep
+        copied.
         """
         return RuntimeSnapshot(
             plan=self._plan,
-            gen_queue={k: q.clone() for k, q in self._gen_queue.items()},
-            input_queue={k: q.clone() for k, q in self._input_queue.items()},
-            net_queue={k: q.clone() for k, q in self._net_queue.items()},
+            gen_queue={k: q.clone_cow() for k, q in self._gen_queue.items()},
+            input_queue={
+                k: q.clone_cow() for k, q in self._input_queue.items()
+            },
+            net_queue={k: q.clone_cow() for k, q in self._net_queue.items()},
             suspended_until=dict(self._suspended_until),
         )
 
@@ -388,12 +517,17 @@ class EngineRuntime:
         """Restore a :meth:`mutation_snapshot` (adaptation rollback)."""
         plan_changed = snapshot.plan is not self._plan
         self._plan = snapshot.plan
-        self._gen_queue = {k: q.clone() for k, q in snapshot.gen_queue.items()}
-        self._input_queue = {
-            k: q.clone() for k, q in snapshot.input_queue.items()
+        self._gen_queue = {
+            k: q.clone_cow() for k, q in snapshot.gen_queue.items()
         }
-        self._net_queue = {k: q.clone() for k, q in snapshot.net_queue.items()}
+        self._input_queue = {
+            k: q.clone_cow() for k, q in snapshot.input_queue.items()
+        }
+        self._net_queue = {
+            k: q.clone_cow() for k, q in snapshot.net_queue.items()
+        }
         self._suspended_until = dict(snapshot.suspended_until)
+        self._rebuild_net_index()
         if plan_changed:
             self._refresh_plan_constants()
 
@@ -448,12 +582,11 @@ class EngineRuntime:
             if src_stage in surviving:
                 heirs = new_downstream_of.get(src_stage, [])
                 if heirs:
-                    target = self._queue(
-                        self._net_queue, (src_stage, heirs[0], su, sd)
-                    )
+                    target = self._net_q((src_stage, heirs[0], su, sd))
                     target.push_parcels(queue.pop(queue.count))
 
         self._plan = new_plan
+        self._rebuild_net_index()
         self._refresh_plan_constants()
 
     # ------------------------------------------------------------------ #
@@ -479,29 +612,37 @@ class EngineRuntime:
         if link_budget is None:
             link_budget = {}
 
+        cache = self._plan_cache()
+        gen_queue = self._gen_queue
+
         # 1. External generation.
-        for stage in self._plan.source_stages():
-            site = stage.pinned_site
-            if site is None:
+        offered = 0.0
+        offered_by_source = report.offered_by_source
+        # Events generated uniformly across the tick: mean age dt/2.
+        mean_gen_time = now - dt / 2
+        for src in cache.sources:
+            if src.pinned_site is None:
                 raise SimulationError(
-                    f"source stage {stage.name!r} has no pinned site"
+                    f"source stage {src.name!r} has no pinned site"
                 )
-            rate = self._workload.generation_eps(stage.name, now)
+            rate = self._workload.generation_eps(src.name, now)
             gen = rate * dt
             if gen > 0:
-                # Events generated uniformly across the tick: mean age dt/2.
-                self._queue(self._gen_queue, (stage.name, site)).push(
-                    gen, now - dt / 2
-                )
-            report.offered += gen
-            report.offered_by_source[stage.name] = gen
+                queue = gen_queue.get(src.gen_key)
+                if queue is None:
+                    queue = FluidQueue()
+                    gen_queue[src.gen_key] = queue
+                queue.push(gen, mean_gen_time)
+            offered += gen
+            offered_by_source[src.name] = gen
+        report.offered = offered
 
         # 2. Stage execution in topological order, transferring each stage's
         # outgoing flows immediately so downstream stages can consume them
         # within the same tick (sub-tick pipelining).
-        for stage in self._plan.topological_stages():
-            self._run_stage(stage, now, dt, report)
-            self._transfer_stage_flows(stage, now, dt, link_budget, report)
+        for ex in cache.topo:
+            self._run_stage(ex, now, dt, report)
+            self._transfer_stage_flows(ex, now, dt, link_budget, report)
 
         # Relay flows (scale-down) originate from stages to themselves and
         # were handled inside _transfer_stage_flows via the same net queues.
@@ -526,59 +667,77 @@ class EngineRuntime:
 
     # -------------------------- stage execution ------------------------ #
 
-    def _stage_capacity_eps(self, stage: Stage, site: str) -> float:
-        """Events/s the stage's tasks at ``site`` can process right now."""
-        if self.is_suspended(stage.name):
-            return 0.0
-        site_obj = self._topology.site(site)
-        if site_obj.failed:
-            return 0.0
-        n_tasks = sum(1 for t in stage.tasks if t.site == site)
-        return n_tasks * site_obj.effective_proc_rate_eps / stage.cost
-
     def _run_stage(
-        self, stage: Stage, now: float, dt: float, report: TickReport
+        self, ex: _StageExec, now: float, dt: float, report: TickReport
     ) -> None:
-        table = self._gen_queue if stage.is_source else self._input_queue
-        placement = stage.placement()
-        for site in sorted(placement):
-            queue = self._queue(table, (stage.name, site))
-            if self._degrade_slo_s is not None:
-                dropped = queue.drop_older_than(now - self._degrade_slo_s)
+        table = self._gen_queue if ex.is_source else self._input_queue
+        name = ex.name
+        cost = ex.cost
+        sel = ex.selectivity
+        slo = self._degrade_slo_s
+        cutoff = (now - slo) if slo is not None else None
+        suspended = self._now_s < self._suspended_until.get(name, 0.0)
+        buf = self._pop_buf
+        capacity_by_site = report.capacity_by_site
+        processed_by_site = report.processed_by_site
+        stage_processed = 0.0
+        stage_emitted = 0.0
+        had_output = False
+        for site, site_obj, n_tasks, site_key in ex.site_rows:
+            queue = table.get(site_key)
+            if queue is None:
+                queue = FluidQueue()
+                table[site_key] = queue
+            if cutoff is not None:
+                dropped = queue.drop_older_than(cutoff)
                 if dropped > 0:
                     report.dropped_source_equiv += self._to_source_equiv(
-                        stage.name, dropped
+                        name, dropped
                     )
-            capacity = self._stage_capacity_eps(stage, site) * dt
-            arrived_here = queue.count  # includes prior backlog
-            parcels = queue.pop(capacity)
-            processed = parcels_total(parcels)
-            del arrived_here
-            if processed <= 0:
-                report.capacity_by_site[(stage.name, site)] = capacity
-                continue
-            report.processed[stage.name] = (
-                report.processed.get(stage.name, 0.0) + processed
-            )
-            report.processed_by_site[(stage.name, site)] = processed
-            report.capacity_by_site[(stage.name, site)] = capacity
-
-            out_parcels = scale_parcels(parcels, stage.selectivity)
-            emitted = parcels_total(out_parcels)
-            if stage.is_sink:
-                report.sink_events += emitted
-                report.sink_delay_weighted_s += sum(
-                    p.count * (now - p.gen_time_s) for p in out_parcels
+            if suspended or site_obj.failed:
+                capacity = 0.0
+            else:
+                capacity = (
+                    n_tasks * site_obj.effective_proc_rate_eps / cost * dt
                 )
+            buf.clear()
+            processed = queue.pop_into(capacity, buf)
+            if processed <= 0:
+                capacity_by_site[site_key] = capacity
                 continue
-            report.emitted[stage.name] = (
-                report.emitted.get(stage.name, 0.0) + emitted
-            )
-            self._route_output(stage, site, out_parcels, report)
+            stage_processed += processed
+            processed_by_site[site_key] = processed
+            capacity_by_site[site_key] = capacity
+
+            if ex.is_sink:
+                emitted = 0.0
+                delay = 0.0
+                for p in buf:
+                    c = p.count * sel
+                    emitted += c
+                    delay += c * (now - p.gen_time_s)
+                report.sink_events += emitted
+                report.sink_delay_weighted_s += delay
+                continue
+            # Apply the chained selectivity in place: the popped parcels
+            # are exclusively ours, and downstream pushes copy the values.
+            had_output = True
+            emitted = 0.0
+            for p in buf:
+                c = p.count * sel
+                p.count = c
+                emitted += c
+            stage_emitted += emitted
+            if sel != 0.0:
+                self._route_output(ex, site, buf, report)
+        if stage_processed > 0.0:
+            report.processed[name] = stage_processed
+        if had_output:
+            report.emitted[name] = stage_emitted
 
     def _route_output(
         self,
-        stage: Stage,
+        ex: _StageExec,
         src_site: str,
         out_parcels: list[Parcel],
         report: TickReport,
@@ -589,57 +748,63 @@ class EngineRuntime:
         receives the full stream, split across its tasks in proportion to
         tasks per site.
         """
-        for down in self._plan.downstream_stages(stage.name):
-            placement = down.placement()
-            total_tasks = sum(placement.values())
-            if total_tasks == 0:
+        name = ex.name
+        input_queue = self._input_queue
+        arrived = report.arrived
+        for down in ex.downstream:
+            if not down.deployed:
                 # Downstream not deployed (transient during adaptation):
                 # keep the events at the sender by re-queueing them into the
                 # queue this stage reads from, to be re-emitted next tick.
-                table = self._gen_queue if stage.is_source else self._input_queue
-                self._queue(table, (stage.name, src_site)) \
+                table = self._gen_queue if ex.is_source else self._input_queue
+                self._queue(table, (name, src_site)) \
                     .push_parcels(out_parcels)
                 continue
-            for dst_site in sorted(placement):
-                fraction = placement[dst_site] / total_tasks
-                share = scale_parcels(out_parcels, fraction)
-                if not share:
-                    continue
+            for dst_site, fraction, in_key in down.shares:
                 if dst_site == src_site:
-                    self._queue(
-                        self._input_queue, (down.name, dst_site)
-                    ).push_parcels(share)
-                    report.arrived[down.name] = (
-                        report.arrived.get(down.name, 0.0)
-                        + parcels_total(share)
+                    queue = input_queue.get(in_key)
+                    if queue is None:
+                        queue = FluidQueue()
+                        input_queue[in_key] = queue
+                    moved = queue.push_scaled(out_parcels, fraction)
+                    arrived[down.name] = (
+                        arrived.get(down.name, 0.0) + moved
                     )
                 else:
-                    self._queue(
-                        self._net_queue,
-                        (stage.name, down.name, src_site, dst_site),
-                    ).push_parcels(share)
+                    self._net_q(
+                        (name, down.name, src_site, dst_site)
+                    ).push_scaled(out_parcels, fraction)
 
     def _transfer_stage_flows(
         self,
-        stage: Stage,
+        ex: _StageExec,
         now: float,
         dt: float,
         link_budget: dict[tuple[str, str], float],
         report: TickReport,
     ) -> None:
         """Move this stage's outgoing WAN queues within link budgets."""
-        event_bytes = stage.output_event_bytes
-        flow_keys = [
-            key for key in self._net_queue if key[0] == stage.name
-        ]
-        # Deterministic order; FCFS link sharing across flows.
-        for key in sorted(flow_keys):
-            _, dst_stage, src_site, dst_site = key
-            queue = self._net_queue[key]
+        flow_keys = self._net_index.get(ex.name)
+        if not flow_keys:
+            return
+        event_bytes = ex.output_event_bytes
+        slo = self._degrade_slo_s
+        cutoff = (now - slo) if slo is not None else None
+        net_queue = self._net_queue
+        input_queue = self._input_queue
+        topology = self._topology
+        arrived = report.arrived
+        net_sent = report.net_sent
+        buf = self._pop_buf
+        # Deterministic order (the index is kept sorted); FCFS link sharing
+        # across flows.
+        for key in flow_keys:
+            queue = net_queue[key]
             if not queue:
                 continue
-            if self._degrade_slo_s is not None:
-                dropped = queue.drop_older_than(now - self._degrade_slo_s)
+            _, dst_stage, src_site, dst_site = key
+            if cutoff is not None:
+                dropped = queue.drop_older_than(cutoff)
                 if dropped > 0:
                     report.dropped_source_equiv += self._to_source_equiv(
                         dst_stage, dropped
@@ -647,28 +812,30 @@ class EngineRuntime:
                 if not queue:
                     continue
             link = (src_site, dst_site)
-            if link not in link_budget:
-                link_budget[link] = (
-                    self._topology.bandwidth_mbps(src_site, dst_site)
+            budget = link_budget.get(link)
+            if budget is None:
+                budget = (
+                    topology.bandwidth_mbps(src_site, dst_site)
                     * MBIT_BYTES
                     * dt
                 )
-            budget_events = link_budget[link] / event_bytes
+                link_budget[link] = budget
+            budget_events = budget / event_bytes
             if budget_events <= 0:
                 continue
-            parcels = queue.pop(budget_events)
-            moved = parcels_total(parcels)
+            buf.clear()
+            moved = queue.pop_into(budget_events, buf)
             if moved <= 0:
                 continue
-            link_budget[link] -= moved * event_bytes
-            latency_s = self._topology.latency_ms(src_site, dst_site) / 1000.0
-            delivered = age_parcels(parcels, latency_s)
-            self._queue(self._input_queue, (dst_stage, dst_site)) \
-                .push_parcels(delivered)
-            report.net_sent[key] = report.net_sent.get(key, 0.0) + moved
-            report.arrived[dst_stage] = (
-                report.arrived.get(dst_stage, 0.0) + moved
-            )
+            link_budget[link] = budget - moved * event_bytes
+            latency_s = topology.latency_ms(src_site, dst_site) / 1000.0
+            dst_q = input_queue.get((dst_stage, dst_site))
+            if dst_q is None:
+                dst_q = FluidQueue()
+                input_queue[(dst_stage, dst_site)] = dst_q
+            dst_q.push_aged(buf, latency_s)
+            net_sent[key] = net_sent.get(key, 0.0) + moved
+            arrived[dst_stage] = arrived.get(dst_stage, 0.0) + moved
 
     # -------------------------- conversions ---------------------------- #
 

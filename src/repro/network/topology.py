@@ -50,7 +50,13 @@ class Topology:
             self._sites[site.name] = site
         self._base_bandwidth: dict[tuple[str, str], float] = {}
         self._base_latency: dict[tuple[str, str], float] = {}
+        #: Per-link factor overrides; links without an entry use
+        #: ``_global_factor``.  A global write clears the overrides, which
+        #: preserves the historical clobber semantics (a global change
+        #: replaces every per-link factor) while staying O(1) per call -
+        #: the scripted dynamics apply a global factor on every tick.
         self._factors: dict[tuple[str, str], float] = {}
+        self._global_factor = 1.0
 
     # ------------------------------------------------------------------ #
     # Sites
@@ -127,7 +133,7 @@ class Topology:
             self._require(src)
             self._require(dst)
             raise TopologyError(f"no link defined from {src!r} to {dst!r}")
-        return base * self._factors.get((src, dst), 1.0)
+        return base * self._factors.get((src, dst), self._global_factor)
 
     def latency_ms(self, src: str, dst: str) -> float:
         """Current one-way latency of the ``src -> dst`` link in ms."""
@@ -163,11 +169,11 @@ class Topology:
         """Scale every link (Section 8.4 halves all links at t=900)."""
         if factor < 0:
             raise TopologyError(f"bandwidth factor must be >= 0, got {factor}")
-        for key in self._base_bandwidth:
-            self._factors[key] = float(factor)
+        self._factors.clear()
+        self._global_factor = float(factor)
 
     def bandwidth_factor(self, src: str, dst: str) -> float:
-        return self._factors.get((src, dst), 1.0)
+        return self._factors.get((src, dst), self._global_factor)
 
     # ------------------------------------------------------------------ #
     # Helpers

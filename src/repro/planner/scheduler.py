@@ -80,7 +80,7 @@ class Scheduler:
         for stage in plan.topological_stages():
             for task in list(stage.tasks):
                 self._release_site(task.site)
-            stage.tasks.clear()
+            stage.clear_tasks()
 
     # ------------------------------------------------------------------ #
     # Mutations
@@ -166,7 +166,7 @@ class Scheduler:
         for stage in plan.topological_stages():
             stranded = [t for t in stage.tasks if t.site in failed_sites]
             for task in stranded:
-                stage.tasks.remove(task)
+                stage.remove_task(task)
                 lost[stage.name] = lost.get(stage.name, 0) + 1
         for site_name in failed_sites:
             self._topology.site(site_name).release_all()
