@@ -13,8 +13,14 @@ scale-out with state partitioning, abandon state — until one attempt
 commits.  Because every fault draws from a seeded RNG stream, re-running
 this script reproduces the timeline byte-for-byte.
 
-Run:  python examples/chaos_run.py
+Run:  python examples/chaos_run.py [--trace-out trace.jsonl]
+
+With ``--trace-out`` the run also writes a structured JSONL trace of the
+whole episode (rounds, attempts, rollbacks, migrations, chaos faults);
+render it with ``python -m repro trace trace.jsonl``.
 """
+
+import argparse
 
 from repro.baselines.variants import wasp
 from repro.chaos import ChaosInjector, SiteCrash
@@ -47,8 +53,19 @@ def pick_migration(run):
     raise SystemExit("query has no movable stateful stage")
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL adaptation trace of the chaos episode",
+    )
+    args = parser.parse_args(argv)
+
     run, rngs = build_run()
+    if args.trace_out:
+        run.attach_trace(args.trace_out)
     stage, destination = pick_migration(run)
     print(f"stateful stage  : {stage.name} at {sorted(stage.placement())}")
     print(f"migration target: {destination}  (chaos will crash it)\n")
@@ -94,6 +111,11 @@ def main():
 
     print(f"\nreplayed source-equivalent events: {run.replayed_source_equiv:.0f}")
     print(f"events dropped                   : {run.recorder.total_dropped():.0f}")
+
+    run.obs.close()
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out}")
+        print(f"render it with: python -m repro trace {args.trace_out}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ Commands:
   or more controller variants; prints the per-variant summary and the
   adaptation log.
 * ``figures`` - regenerate one of the paper's figures/tables as text.
+* ``trace`` - render the adaptation timeline of a JSONL trace produced by
+  ``--trace-out`` (or validate it with ``--validate-only``).
 * ``list`` - enumerate the available queries, variants, dynamics, figures.
 
 Examples::
@@ -14,6 +16,8 @@ Examples::
         --dynamics bottleneck --duration 900
     python -m repro run --query ysb-advertising \
         --variant "No Adapt" --variant WASP --dynamics live
+    python -m repro run --dynamics technique --trace-out run.jsonl
+    python -m repro trace run.jsonl
     python -m repro figures fig13
     python -m repro list
 """
@@ -89,10 +93,39 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile each variant with cProfile and print the hot spots",
     )
+    run_p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL adaptation trace (per-variant suffix when "
+        "several variants run)",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write Prometheus textfile metrics at end of run",
+    )
 
     fig_p = sub.add_parser("figures", help="regenerate a paper figure/table")
     fig_p.add_argument("which", choices=FIGURES)
     fig_p.add_argument("--seed", type=int, default=42)
+    fig_p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write per-variant JSONL traces for figures that run variants",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="render the adaptation timeline of a JSONL trace"
+    )
+    trace_p.add_argument("path", help="trace file written by --trace-out")
+    trace_p.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="schema-check every record and report the count; no timeline",
+    )
 
     sub.add_parser("list", help="list queries, variants, dynamics, figures")
     return parser
@@ -143,8 +176,20 @@ def _profiled_run(run: ExperimentRun, duration: float, dynamics):
     return recorder
 
 
+def _variant_path(path: str, variant_name: str, multi: bool) -> str:
+    """Suffix ``path`` with the variant name when several variants run."""
+    if not multi:
+        return path
+    slug = variant_name.lower().replace(" ", "-").replace("/", "-")
+    root, dot, ext = path.rpartition(".")
+    if dot:
+        return f"{root}.{slug}.{ext}"
+    return f"{path}.{slug}"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     variants = _resolve_variants(args.variant)
+    multi = len(variants) > 1
     print(
         f"query={args.query} dynamics={args.dynamics} "
         f"duration={args.duration:.0f}s seed={args.seed}"
@@ -154,11 +199,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         topology = paper_testbed(rngs.stream("topology"))
         query = make_query_by_name(args.query)(topology, rngs)
         run = ExperimentRun(topology, query, variant, rngs=rngs)
+        if args.trace_out:
+            trace_path = _variant_path(args.trace_out, variant.name, multi)
+            run.attach_trace(trace_path)
+            print(f"  trace -> {trace_path}")
+        if args.metrics_out:
+            metrics_path = _variant_path(
+                args.metrics_out, variant.name, multi
+            )
+            run.attach_metrics(metrics_path)
+            print(f"  metrics -> {metrics_path}")
         dynamics = DYNAMICS[args.dynamics](rngs)
         if args.profile:
             recorder = _profiled_run(run, args.duration, dynamics)
         else:
             recorder = run.run(args.duration, dynamics)
+        run.obs.close()
         print(f"\n--- {variant.name} ---")
         print(f"  mean delay      : {recorder.mean_delay():10.2f} s")
         print(f"  p95 delay       : {recorder.delay_percentile(95):10.2f} s")
@@ -177,7 +233,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figures_runs(which: str, seed: int):
+def _figures_runs(which: str, seed: int, trace_out: str | None = None):
     from .experiments.harness import run_variants
 
     if which in ("fig8", "fig9"):
@@ -186,6 +242,13 @@ def _figures_runs(which: str, seed: int):
         scenario = fig10_scenario()
     else:
         scenario = fig11_scenario()
+    instrument = None
+    if trace_out:
+        multi = len(scenario.variants) > 1
+
+        def instrument(name: str, run: ExperimentRun) -> None:
+            run.attach_trace(_variant_path(trace_out, name, multi))
+
     return run_variants(
         scenario.make_topology,
         scenario.make_query,
@@ -193,25 +256,40 @@ def _figures_runs(which: str, seed: int):
         scenario.duration_s,
         scenario.make_dynamics,
         seed=seed,
+        instrument=instrument,
     )
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
     which, seed = args.which, args.seed
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and which not in ("fig8", "fig9", "fig10", "fig11", "fig12"):
+        print(
+            f"note: --trace-out ignored for {which} (no variant runs)",
+            file=sys.stderr,
+        )
     if which == "fig2":
         print(fig.fig2_report(oregon_ohio_trace(np.random.default_rng(seed))))
     elif which == "fig7":
         print(fig.fig7_report(paper_testbed(np.random.default_rng(seed))))
     elif which == "fig8":
-        print(fig.fig8_report(_figures_runs(which, seed), "topk-topics"))
+        print(
+            fig.fig8_report(
+                _figures_runs(which, seed, trace_out), "topk-topics"
+            )
+        )
     elif which == "fig9":
-        print(fig.fig9_report(_figures_runs(which, seed), "topk-topics"))
+        print(
+            fig.fig9_report(
+                _figures_runs(which, seed, trace_out), "topk-topics"
+            )
+        )
     elif which == "fig10":
-        print(fig.fig10_report(_figures_runs(which, seed)))
+        print(fig.fig10_report(_figures_runs(which, seed, trace_out)))
     elif which == "fig11":
-        print(fig.fig11_report(_figures_runs(which, seed)))
+        print(fig.fig11_report(_figures_runs(which, seed, trace_out)))
     elif which == "fig12":
-        print(fig.fig12_report(_figures_runs(which, seed)))
+        print(fig.fig12_report(_figures_runs(which, seed, trace_out)))
     elif which == "fig13":
         breakdowns = []
         for variant in migration_variants():
@@ -250,6 +328,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, render_timeline, require_valid
+
+    records = read_jsonl(args.path)
+    if args.validate_only:
+        for record in records:
+            require_valid(record)
+        print(f"{args.path}: {len(records)} records, all valid")
+        return 0
+    print(render_timeline(records))
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     del args
     print("queries  :", ", ".join(QUERIES))
@@ -266,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args)
         if args.command == "figures":
             return cmd_figures(args)
+        if args.command == "trace":
+            return cmd_trace(args)
         return cmd_list(args)
     except WaspError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,7 @@ from .faults import ChaosTarget, Fault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.controller import ReconfigurationManager
+    from ..obs.events import EventBus
     from ..sim.recorder import RunRecorder
 
 
@@ -82,6 +83,9 @@ class ChaosInjector:
 
     rng: np.random.Generator
     recorder: "RunRecorder | None" = None
+    #: Optional event bus (repro.obs); fault firings and reverts are
+    #: emitted as ``chaos.fault`` events when a sink is attached.
+    obs: "EventBus | None" = None
     _rules: list[_Rule] = field(default_factory=list)
     _active: list[_Activation] = field(default_factory=list)
     _target: ChaosTarget | None = None
@@ -221,7 +225,13 @@ class ChaosInjector:
                 detail = activation.fault.revert(
                     target, now_s, activation.state
                 )
-                self._record(now_s, f"{activation.fault.kind}:revert", detail)
+                self._record(
+                    now_s,
+                    f"{activation.fault.kind}:revert",
+                    detail,
+                    fault=activation.fault.kind,
+                    phase="revert",
+                )
             else:
                 still_active.append(activation)
         self._active = still_active
@@ -290,9 +300,23 @@ class ChaosInjector:
                 _Activation(fault=rule.fault, state=state, end_s=None)
             )
 
-    def _record(self, t_s: float, kind: str, detail: str) -> None:
+    def _record(
+        self,
+        t_s: float,
+        kind: str,
+        detail: str,
+        *,
+        fault: str | None = None,
+        phase: str = "apply",
+    ) -> None:
         if self.recorder is not None:
             self.recorder.record_fault(t_s, kind, detail)
+        if self.obs:
+            from ..obs.events import ChaosFault
+
+            self.obs.emit(
+                ChaosFault(t_s, fault=fault or kind, detail=detail, phase=phase)
+            )
 
     @property
     def active_faults(self) -> list[Fault]:

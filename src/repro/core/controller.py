@@ -35,6 +35,21 @@ from ..engine.state import StateStore
 from ..errors import AdaptationError, AdaptationRollbackError, WaspError
 from ..network.monitor import WanMonitor
 from ..network.relay import relayed_bandwidth_lookup
+from ..obs.events import (
+    Abandoned,
+    Apply,
+    AttemptStart,
+    Commit,
+    Diagnose,
+    EventBus,
+    FallbackHop,
+    Rollback,
+    RoundEnd,
+    RoundStart,
+    Validate,
+    Verify,
+    WindowSnapshot,
+)
 from ..planner.scheduler import AssignmentDiff, Scheduler
 from ..sim.recorder import RunRecorder
 from .actions import (
@@ -50,6 +65,7 @@ from .estimator import WorkloadEstimator
 from .migration import (
     MigrationPlan,
     MigrationStrategy,
+    emit_migration_events,
     plan_migration,
     rebalance_transfers,
 )
@@ -131,6 +147,7 @@ class ReconfigurationManager:
         mode: PolicyMode | None = None,
         migration_strategy: MigrationStrategy = MigrationStrategy.WASP,
         rng: np.random.Generator | None = None,
+        obs: EventBus | None = None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -143,11 +160,15 @@ class ReconfigurationManager:
         self.mode = mode or PolicyMode.wasp()
         self.migration_strategy = migration_strategy
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Optional event bus (repro.obs); every emission site is guarded
+        #: by its truthiness, so a sink-less bus costs nothing.
+        self.obs = obs
+        self._round_no = 0
 
         self.monitor = GlobalMetricMonitor()
         self.estimator = WorkloadEstimator()
         self.diagnoser = Diagnoser(self.config)
-        self.policy = AdaptationPolicy(self.estimator)
+        self.policy = AdaptationPolicy(self.estimator, obs=obs)
         self.network = _NetworkAdapter(self)
 
         self.history: list[AdaptationRecord] = []
@@ -186,6 +207,35 @@ class ReconfigurationManager:
 
     def adaptation_round(self, now_s: float) -> list[AdaptationRecord]:
         """One monitoring-interval iteration; returns the actions executed."""
+        obs = self.obs
+        if obs:
+            self._round_no += 1
+            with obs.span("adaptation-round", now_s):
+                obs.emit(
+                    RoundStart(
+                        now_s,
+                        round=self._round_no,
+                        stages=len(self.runtime.plan.stages),
+                    )
+                )
+                executed, decided = self._round_body(now_s)
+                obs.emit(
+                    RoundEnd(
+                        now_s,
+                        round=self._round_no,
+                        decided=decided,
+                        executed=len(executed),
+                    )
+                )
+            return executed
+        executed, _ = self._round_body(now_s)
+        return executed
+
+    def _round_body(
+        self, now_s: float
+    ) -> tuple[list[AdaptationRecord], int]:
+        """The round itself; returns (executed records, decided count)."""
+        obs = self.obs
         self.wan_monitor.refresh(now_s)
         window = self.monitor.collect(self.runtime.sink_source_equiv)
         self.last_window = window
@@ -195,6 +245,23 @@ class ReconfigurationManager:
             plan, window, estimates, self.network
         )
         self.last_diagnoses = diagnoses
+        if obs:
+            self._emit_window(now_s, window, estimates)
+            for name in sorted(diagnoses):
+                diag = diagnoses[name]
+                obs.emit(
+                    Diagnose(
+                        now_s,
+                        stage=name,
+                        health=diag.health.value,
+                        utilization=diag.utilization,
+                        expected_input_eps=diag.expected_input_eps,
+                        capacity_eps=diag.processing_capacity_eps,
+                        backlog=diag.input_backlog,
+                        backlog_growth=diag.input_backlog_growth,
+                        slow_sites=list(diag.slow_sites),
+                    )
+                )
 
         # Skip stages still transitioning from the previous adaptation.
         actionable = {
@@ -215,8 +282,10 @@ class ReconfigurationManager:
             replanner=self.replanner,
             mode=self.mode,
             migration_bandwidth=self.migration_bandwidth,
+            now_s=now_s,
         )
         actions = self.policy.decide(ctx)
+        decided = len(actions)
         # Re-planning replaces the entire execution (high overhead, Table
         # 2); a cooldown prevents thrashing between near-equal plans.
         last_replan = max(
@@ -241,7 +310,48 @@ class ReconfigurationManager:
                     self.recorder.record_adaptation(
                         now_s, record.kind.value, record.reason
                     )
-        return executed
+        return executed, decided
+
+    def _emit_window(
+        self,
+        now_s: float,
+        window: MetricsWindow,
+        estimates: dict,
+    ) -> None:
+        """One ``window`` event: per-stage rates/backlog + per-link flows."""
+        stages: dict[str, dict] = {}
+        links: dict[str, dict] = {}
+        for name in sorted(window.stages):
+            metrics = window.stages[name]
+            estimate = estimates.get(name)
+            stages[name] = {
+                "lambda_p": metrics.lambda_p,
+                "lambda_hat": estimate.input_eps if estimate else 0.0,
+                "utilization": metrics.utilization,
+                "backlog": metrics.input_backlog,
+                "backlog_growth": metrics.input_backlog_growth,
+            }
+            for (src, dst), eps in metrics.net_inflow.items():
+                link = links.setdefault(
+                    f"{src}->{dst}", {"inflow_eps": 0.0, "backlog": 0.0}
+                )
+                link["inflow_eps"] += eps
+            for (src, dst), backlog in metrics.net_backlog.items():
+                link = links.setdefault(
+                    f"{src}->{dst}", {"inflow_eps": 0.0, "backlog": 0.0}
+                )
+                link["backlog"] += backlog
+        self.obs.emit(
+            WindowSnapshot(
+                now_s,
+                t_start_s=window.t_start_s,
+                t_end_s=window.t_end_s,
+                offered_eps=window.offered_eps,
+                mean_delay_s=window.mean_delay_s,
+                stages=stages,
+                links=dict(sorted(links.items())),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Action execution
@@ -270,16 +380,76 @@ class ReconfigurationManager:
             action, (ReassignAction, ScaleAction, ScaleDownAction, ReplanAction)
         ):
             raise AdaptationError(f"unknown action type: {action!r}")
+        obs = self.obs
+        prev_label: str | None = None
         for attempt in self._attempt_chain(action, now_s):
-            txn = AdaptationTransaction.begin(self)
+            if obs:
+                if prev_label is not None:
+                    obs.emit(
+                        FallbackHop(
+                            now_s,
+                            stage=action.stage,
+                            from_attempt=prev_label,
+                            to_attempt=attempt.label,
+                        )
+                    )
+                obs.emit(
+                    AttemptStart(
+                        now_s,
+                        stage=action.stage,
+                        attempt=attempt.label,
+                        action=attempt.action.kind.value,
+                        reason=attempt.action.reason,
+                    )
+                )
+            prev_label = attempt.label
+            txn = AdaptationTransaction.begin(
+                self, now_s=now_s, stage=action.stage
+            )
             self._strategy_override = attempt.strategy
             self._extra_transition_s = attempt.backoff_s
             try:
                 self._validate(attempt.action)
+                if obs:
+                    obs.emit(
+                        Validate(
+                            now_s,
+                            stage=action.stage,
+                            action=attempt.action.kind.value,
+                        )
+                    )
                 record = self._apply_action(attempt.action, now_s)
+                if obs:
+                    obs.emit(
+                        Apply(
+                            now_s,
+                            stage=action.stage,
+                            action=attempt.action.kind.value,
+                            transition_s=record.transition_s,
+                        )
+                    )
                 self._verify(record)
+                if obs:
+                    obs.emit(Verify(now_s, stage=action.stage))
+                    if record.migration is not None:
+                        emit_migration_events(
+                            obs,
+                            now_s,
+                            record.stage,
+                            record.migration,
+                            self._current_strategy(),
+                        )
             except WaspError as exc:
                 txn.rollback(self)
+                if obs:
+                    obs.emit(
+                        Rollback(
+                            now_s,
+                            stage=action.stage,
+                            attempt=attempt.label,
+                            error=str(exc),
+                        )
+                    )
                 self._log_attempt(
                     now_s, action.stage, attempt.label, "rolled-back", str(exc)
                 )
@@ -288,11 +458,26 @@ class ReconfigurationManager:
                 self._strategy_override = None
                 self._extra_transition_s = 0.0
             record.attempt = attempt.label
+            if obs:
+                obs.emit(
+                    Commit(
+                        now_s,
+                        stage=action.stage,
+                        attempt=attempt.label,
+                        action=record.kind.value,
+                        reason=record.reason,
+                        transition_s=record.transition_s,
+                    )
+                )
             self._log_attempt(
                 now_s, action.stage, attempt.label, "committed",
                 attempt.action.reason,
             )
             return record
+        if obs:
+            obs.emit(
+                Abandoned(now_s, stage=action.stage, action=action.kind.value)
+            )
         self._log_attempt(
             now_s, action.stage, "exhausted", "abandoned",
             "every technique in the fallback chain rolled back",

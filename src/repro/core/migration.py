@@ -23,10 +23,14 @@ import enum
 import itertools
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.events import EventBus
 
 
 class MigrationStrategy(enum.Enum):
@@ -284,6 +288,59 @@ def rebalance_transfers(
     plan = MigrationPlan(transfers=tuple(transfers))
     _require_finite(stage, plan.transfers)
     return plan
+
+
+def emit_migration_events(
+    obs: "EventBus | None",
+    t_s: float,
+    stage: str,
+    plan: MigrationPlan,
+    strategy: MigrationStrategy,
+) -> None:
+    """Describe a computed migration plan on the event bus.
+
+    Emits a ``migration`` span containing ``migrate.start``, one
+    ``migrate.transfer`` per partition move (size, bytes, bandwidth,
+    duration) and ``migrate.end`` with the plan's transition cost.  Plans
+    with neither transfers nor abandoned state are silent - nothing moved.
+    """
+    if not obs:
+        return
+    if not plan.transfers and plan.state_abandoned_mb <= 0:
+        return
+    from ..obs.events import MigrateEnd, MigrateStart, MigrateTransfer
+
+    with obs.span("migration", t_s):
+        obs.emit(
+            MigrateStart(
+                t_s,
+                stage=stage,
+                strategy=strategy.value,
+                transfers=len(plan.transfers),
+                total_mb=plan.total_mb,
+            )
+        )
+        for transfer in plan.transfers:
+            obs.emit(
+                MigrateTransfer(
+                    t_s,
+                    stage=stage,
+                    from_site=transfer.from_site,
+                    to_site=transfer.to_site,
+                    size_mb=transfer.size_mb,
+                    bytes=transfer.size_mb * 1e6,
+                    bandwidth_mbps=transfer.bandwidth_mbps,
+                    duration_s=transfer.duration_s,
+                )
+            )
+        obs.emit(
+            MigrateEnd(
+                t_s,
+                stage=stage,
+                transition_s=plan.transition_s,
+                abandoned_mb=plan.state_abandoned_mb,
+            )
+        )
 
 
 def estimate_transition_s(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..config import WaspConfig
 from ..engine.physical import PhysicalPlan, Stage
@@ -47,6 +47,9 @@ from .scaling import (
     compute_scale_up_target,
     pick_scale_down_site,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -95,6 +98,8 @@ class PolicyContext:
     #: Bandwidth lookup for *bulk state transfers* (may include relay
     #: routing); defaults to the network view's direct lookup.
     migration_bandwidth: "Callable[[str, str], float] | None" = None
+    #: Simulated time of the round (stamped on emitted ``decide`` events).
+    now_s: float = 0.0
 
     def migration_bw(self, src: str, dst: str) -> float:
         if self.migration_bandwidth is not None:
@@ -122,8 +127,16 @@ class StateLookup:
 class AdaptationPolicy:
     """Turns diagnoses into adaptation actions per Figure 6."""
 
-    def __init__(self, estimator: WorkloadEstimator | None = None) -> None:
+    def __init__(
+        self,
+        estimator: WorkloadEstimator | None = None,
+        *,
+        obs: "EventBus | None" = None,
+    ) -> None:
         self._estimator = estimator or WorkloadEstimator()
+        #: Optional event bus; ``decide`` events are emitted only when a
+        #: sink is attached (the bus is truthy).
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -152,9 +165,20 @@ class AdaptationPolicy:
             else:
                 actions.append(action)
                 self._debit_slots(stage, action, ctx)
-        if replan is not None:
-            return [replan]
-        return actions
+        decided = [replan] if replan is not None else actions
+        if self.obs:
+            from ..obs.events import Decide
+
+            for action in decided:
+                self.obs.emit(
+                    Decide(
+                        ctx.now_s,
+                        stage=action.stage,
+                        action=action.kind.value,
+                        reason=action.reason,
+                    )
+                )
+        return decided
 
     @staticmethod
     def _debit_slots(

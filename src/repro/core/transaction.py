@@ -77,7 +77,20 @@ class AdaptationTransaction:
     state_lost_mb: float
 
     @classmethod
-    def begin(cls, manager: "ReconfigurationManager") -> "AdaptationTransaction":
+    def begin(
+        cls,
+        manager: "ReconfigurationManager",
+        *,
+        now_s: float | None = None,
+        stage: str | None = None,
+    ) -> "AdaptationTransaction":
+        """Capture the snapshot (and announce it on the manager's event bus
+        when one is listening - ``now_s``/``stage`` exist only for that)."""
+        obs = getattr(manager, "obs", None)
+        if obs and now_s is not None:
+            from ..obs.events import Snapshot
+
+            obs.emit(Snapshot(now_s, stage=stage or ""))
         plan = manager.runtime.plan
         return cls(
             used_slots=manager.runtime.topology.slot_snapshot(),

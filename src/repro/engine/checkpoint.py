@@ -19,9 +19,13 @@ latest local snapshot, and answers the two questions the controller asks:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import CheckpointError
 from .state import StateStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -37,13 +41,22 @@ class CheckpointRecord:
 class CheckpointCoordinator:
     """Takes periodic local snapshots of every stateful stage's partitions."""
 
-    def __init__(self, store: StateStore, interval_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        store: StateStore,
+        interval_s: float = 30.0,
+        *,
+        obs: "EventBus | None" = None,
+    ) -> None:
         if interval_s <= 0:
             raise CheckpointError(f"interval_s must be > 0, got {interval_s}")
         self._store = store
         self._interval_s = float(interval_s)
         self._records: dict[tuple[str, str], CheckpointRecord] = {}
         self._last_checkpoint_s = float("-inf")
+        #: Optional event bus (repro.obs); checkpoint rounds are announced
+        #: only while a sink is attached.
+        self.obs = obs
 
     @property
     def interval_s(self) -> float:
@@ -74,6 +87,17 @@ class CheckpointCoordinator:
                 self._records[(stage_name, site)] = record
                 written.append(record)
         self._last_checkpoint_s = now_s
+        if self.obs:
+            from ..obs.events import Checkpoint
+
+            self.obs.emit(
+                Checkpoint(
+                    now_s,
+                    records=len(written),
+                    total_mb=sum(r.size_mb for r in written),
+                    skipped_sites=sorted(skip_sites),
+                )
+            )
         return written
 
     def maybe_checkpoint(

@@ -87,3 +87,7 @@ class SimulationError(WaspError):
 
 class ChaosError(WaspError):
     """A chaos-injection fault spec is invalid or cannot be applied."""
+
+
+class ObsError(WaspError):
+    """An observability record, sink or trace file is invalid."""

@@ -107,6 +107,9 @@ def fig8_report(runs: dict[str, ExperimentRun], query_name: str) -> str:
             _fmt(segment_mean(delay, lo, hi), 22) for _, lo, hi in FIG8_SEGMENTS
         )
         lines.append(name.ljust(10) + cells)
+    faults = _fault_markers(runs)
+    if faults:
+        lines.append("faults: " + ", ".join(faults))
     return "\n".join(lines)
 
 
@@ -131,7 +134,26 @@ def fig9_report(runs: dict[str, ExperimentRun], query_name: str) -> str:
     ]
     if adaptations:
         lines.append("adaptations: " + ", ".join(adaptations))
+    faults = _fault_markers(runs)
+    if faults:
+        lines.append("faults: " + ", ".join(faults))
     return "\n".join(lines)
+
+
+def _fault_markers(runs: dict[str, ExperimentRun]) -> list[str]:
+    """Chaos-fault annotations for figure timelines (empty without chaos).
+
+    Built from :meth:`~repro.sim.recorder.RunRecorder.annotations`, so
+    faults appear as ``<t>s:fault:<kind>`` markers alongside adaptation
+    markers; figure scenarios without chaos produce no line at all, which
+    keeps their reports byte-identical to pre-observability output.
+    """
+    return [
+        f"{e.t_s:.0f}s:{e.action}"
+        for run in runs.values()
+        for e in run.recorder.annotations()
+        if e.action.startswith("fault:")
+    ]
 
 
 # --------------------------------------------------------------------------- #

@@ -28,6 +28,7 @@ from ..engine.state import StateStore
 from ..errors import ConfigurationError, InfeasiblePlacementError
 from ..network.monitor import WanMonitor
 from ..network.topology import Topology
+from ..obs.events import EventBus, Restore
 from ..planner.cost import choose_best_deployment
 from ..planner.scheduler import Scheduler
 from ..sim.clock import SimClock
@@ -38,6 +39,7 @@ from ..workloads.queries import BenchmarkQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..chaos.injector import ChaosInjector
+    from ..obs.sinks import JsonlSink, PrometheusTextfileSink
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,9 @@ class ExperimentRun:
         self.config = config or WaspConfig.paper_defaults()
         self.rngs = rngs or RngRegistry(self.config.seed)
         self.recorder = RunRecorder(name=f"{query.name}/{variant.name}")
+        #: The run's event bus (repro.obs).  Falsy until a sink is attached
+        #: (see :meth:`attach_trace`), so unobserved runs pay nothing.
+        self.obs = EventBus()
 
         self.wan_monitor = WanMonitor(
             topology,
@@ -164,7 +169,9 @@ class ExperimentRun:
             degrade_slo_s=variant.degrade_slo_s,
         )
         self.checkpoints = CheckpointCoordinator(
-            self.state_store, self.config.checkpoint_interval_s
+            self.state_store,
+            self.config.checkpoint_interval_s,
+            obs=self.obs,
         )
         self.manager: ReconfigurationManager | None = None
         if variant.adapts:
@@ -185,6 +192,7 @@ class ExperimentRun:
                 mode=variant.mode,
                 migration_strategy=variant.migration_strategy,
                 rng=self.rngs.stream("migration"),
+                obs=self.obs,
             )
 
         self.clock = SimClock(self.config.tick_s)
@@ -253,6 +261,25 @@ class ExperimentRun:
                 self.state_store.set_total_mb(stage_name, total)
 
     # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def attach_trace(self, path) -> "JsonlSink":
+        """Attach a JSONL trace sink writing to ``path``; returns the sink.
+
+        Close the bus (``run.obs.close()``) when the run finishes so the
+        file is flushed."""
+        from ..obs.sinks import JsonlSink
+
+        return self.obs.attach(JsonlSink(path))
+
+    def attach_metrics(self, path) -> "PrometheusTextfileSink":
+        """Attach a Prometheus textfile exporter writing to ``path``."""
+        from ..obs.sinks import PrometheusTextfileSink
+
+        return self.obs.attach(PrometheusTextfileSink(path))
+
+    # ------------------------------------------------------------------ #
     # Chaos
     # ------------------------------------------------------------------ #
 
@@ -278,6 +305,8 @@ class ExperimentRun:
         )
         if injector.recorder is None:
             injector.recorder = self.recorder
+        if injector.obs is None:
+            injector.obs = self.obs
         self._chaos = injector
 
     def _chaos_fail_site(self, name: str, now_s: float) -> None:
@@ -398,6 +427,16 @@ class ExperimentRun:
             self.runtime.inject_replay(
                 stage.name, site, events, fail_start - replay_window / 2
             )
+            if self.obs:
+                self.obs.emit(
+                    Restore(
+                        now_s,
+                        stage=stage.name,
+                        site=site,
+                        events=events,
+                        replay_window_s=replay_window,
+                    )
+                )
             self.replayed_source_equiv += (
                 self.runtime.to_source_equivalents(stage.name, events)
             )
@@ -458,6 +497,7 @@ def run_variants(
     config: WaspConfig | None = None,
     seed: int | None = None,
     state_mb_override: dict[str, float] | None = None,
+    instrument=None,
 ) -> dict[str, ExperimentRun]:
     """Run several variants under *identical* (independently re-created)
     conditions: each variant gets its own topology/query instances built
@@ -472,6 +512,8 @@ def run_variants(
         config: Shared configuration.
         seed: Master seed (defaults to the config's).
         state_mb_override: Controlled state sizes (Section 8.7).
+        instrument: Optional ``(variant_name, run) -> None`` hook called
+            before each run starts - e.g. to attach trace sinks.
     """
     config = config or WaspConfig.paper_defaults()
     results: dict[str, ExperimentRun] = {}
@@ -487,6 +529,9 @@ def run_variants(
             rngs=rngs,
             state_mb_override=state_mb_override,
         )
+        if instrument is not None:
+            instrument(variant.name, run)
         run.run(duration_s, make_dynamics(rngs))
+        run.obs.close()
         results[variant.name] = run
     return results

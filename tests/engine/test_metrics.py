@@ -132,3 +132,78 @@ class TestBacklogs:
         monitor = GlobalMetricMonitor()
         monitor.observe(report(1.0, processed={"agg": 10.0}))
         assert monitor.collect().stages["agg"].utilization == 0.0
+
+
+class TestCollectEdgeCases:
+    """Degenerate windows the controller can hand the monitor."""
+
+    def test_empty_window_is_zeroed(self):
+        monitor = GlobalMetricMonitor()
+        window = monitor.collect()
+        assert window.stages == {}
+        assert window.offered_eps == 0.0
+        assert window.sink_source_equiv_eps == 0.0
+        assert window.duration_s == 0.0
+        assert math.isnan(window.mean_delay_s)
+
+    def test_empty_window_does_not_carry_state(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, processed={"agg": 10.0}))
+        monitor.collect()
+        window = monitor.collect()  # nothing observed since
+        assert window.stages == {}
+        assert monitor.pending_ticks == 0
+
+    def test_zero_duration_window_single_report_at_t0(self):
+        # One report at t=0: the span falls back to a positive epsilon, so
+        # every rate stays finite instead of dividing by zero.
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(0.0, offered=100.0, processed={"agg": 50.0}))
+        window = monitor.collect()
+        assert window.duration_s == 0.0
+        assert math.isfinite(window.offered_eps)
+        assert math.isfinite(window.stages["agg"].lambda_p)
+        assert window.stages["agg"].lambda_p >= 0.0
+
+    def test_zero_duration_window_identical_timestamps(self):
+        monitor = GlobalMetricMonitor()
+        for _ in range(3):
+            monitor.observe(report(5.0, processed={"agg": 30.0}))
+        window = monitor.collect()
+        assert window.duration_s == 0.0
+        assert math.isfinite(window.stages["agg"].lambda_p)
+
+    def test_stage_absent_in_later_tick_still_aggregates(self):
+        # A stage undeployed mid-window reports in tick 1 but not tick 2;
+        # absent ticks count as zero and the backlog reads the last tick.
+        monitor = GlobalMetricMonitor()
+        monitor.observe(
+            report(
+                1.0,
+                processed={"agg": 100.0},
+                input_backlog={("agg", "a"): 40.0},
+            )
+        )
+        monitor.observe(report(2.0, processed={"other": 10.0}))
+        window = monitor.collect()
+        metrics = window.stages["agg"]
+        assert metrics.lambda_p == pytest.approx(50.0)  # 100 over 2 ticks
+        assert metrics.input_backlog == 0.0  # gone from the final tick
+        assert metrics.input_backlog_growth == pytest.approx(-40.0)
+        assert "other" in window.stages
+
+    def test_stage_appearing_mid_window_aggregates(self):
+        monitor = GlobalMetricMonitor()
+        monitor.observe(report(1.0, processed={"other": 10.0}))
+        monitor.observe(
+            report(
+                2.0,
+                processed={"late": 80.0},
+                input_backlog={("late", "b"): 5.0},
+            )
+        )
+        window = monitor.collect()
+        metrics = window.stages["late"]
+        assert metrics.lambda_p == pytest.approx(40.0)
+        assert metrics.input_backlog == pytest.approx(5.0)
+        assert metrics.input_backlog_growth == pytest.approx(5.0)

@@ -167,3 +167,76 @@ class TestAdaptationLog:
         assert events[0].t_s == 100.0
         assert events[0].action == "scale out"
         assert events[0].detail == "bottleneck"
+
+    def test_records_faults_separately(self):
+        recorder = RunRecorder()
+        recorder.record_fault(50.0, "site-crash", "edge-1 crashed")
+        assert recorder.faults[0].kind == "site-crash"
+        assert recorder.adaptations == []
+
+
+class TestAnnotations:
+    def test_merges_adaptations_and_faults_in_time_order(self):
+        recorder = RunRecorder()
+        recorder.record_adaptation(100.0, "scale out", "bottleneck")
+        recorder.record_fault(50.0, "site-crash", "edge-1 crashed")
+        recorder.record_fault(150.0, "site-crash:revert", "edge-1 recovered")
+        merged = recorder.annotations()
+        assert [e.t_s for e in merged] == [50.0, 100.0, 150.0]
+        assert merged[0].action == "fault:site-crash"
+        assert merged[1].action == "scale out"
+        assert merged[2].action == "fault:site-crash:revert"
+
+    def test_adaptation_precedes_fault_at_equal_time(self):
+        recorder = RunRecorder()
+        recorder.record_fault(60.0, "link-degrade", "")
+        recorder.record_adaptation(60.0, "re-assign", "")
+        merged = recorder.annotations()
+        assert [e.action for e in merged] == ["re-assign", "fault:link-degrade"]
+
+    def test_does_not_mutate_underlying_logs(self):
+        recorder = RunRecorder()
+        recorder.record_adaptation(10.0, "re-assign", "")
+        recorder.record_fault(5.0, "site-crash", "")
+        recorder.annotations()
+        assert len(recorder.adaptations) == 1
+        assert len(recorder.faults) == 1
+
+
+class TestIdleWindowNan:
+    """Regression: an all-idle window must not poison the distributions."""
+
+    def test_all_idle_run_yields_nan_summaries(self):
+        recorder = RunRecorder()
+        for t in (1.0, 2.0, 3.0):
+            recorder.record_tick(
+                make_sample(t, delay=float("nan"), processed=0.0)
+            )
+        assert math.isnan(recorder.mean_delay())
+        assert math.isnan(recorder.delay_percentile(95))
+        xs, ys = recorder.delay_cdf()
+        assert len(xs) == 0 and len(ys) == 0
+
+    def test_idle_window_between_busy_ticks_is_skipped(self):
+        recorder = RunRecorder()
+        recorder.record_tick(make_sample(1.0, delay=2.0, processed=100.0))
+        recorder.record_tick(
+            make_sample(2.0, delay=float("nan"), processed=0.0)
+        )
+        recorder.record_tick(make_sample(3.0, delay=4.0, processed=100.0))
+        assert recorder.mean_delay() == pytest.approx(3.0)
+        assert recorder.delay_percentile(100) == pytest.approx(4.0)
+
+    def test_distribution_helpers_skip_nan_defensively(self):
+        # Even if a NaN observation reaches the internal arrays (e.g. a
+        # future recording path forgets the record_tick guard), the
+        # percentile/mean/CDF helpers must drop it rather than let NaN
+        # propagate through sort/cumsum.
+        recorder = RunRecorder()
+        recorder.record_tick(make_sample(1.0, delay=2.0, processed=100.0))
+        recorder._delay_values.append(float("nan"))
+        recorder._delay_weights.append(50.0)
+        assert recorder.mean_delay() == pytest.approx(2.0)
+        assert recorder.delay_percentile(99) == pytest.approx(2.0)
+        xs, _ = recorder.delay_cdf()
+        assert not np.isnan(xs).any()
