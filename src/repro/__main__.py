@@ -8,6 +8,8 @@ Commands:
 * ``figures`` - regenerate one of the paper's figures/tables as text.
 * ``trace`` - render the adaptation timeline of a JSONL trace produced by
   ``--trace-out`` (or validate it with ``--validate-only``).
+* ``fuzz`` - run a seeded scenario-fuzzing campaign under runtime
+  invariant checking (``repro.fuzz``), or replay a pinned repro artifact.
 * ``list`` - enumerate the available queries, variants, dynamics, figures.
 
 Examples::
@@ -19,6 +21,8 @@ Examples::
     python -m repro run --dynamics technique --trace-out run.jsonl
     python -m repro trace run.jsonl
     python -m repro figures fig13
+    python -m repro fuzz --seeds 25 --jobs 2 --out fuzz-report.json
+    python -m repro fuzz --replay tests/fuzz/fixtures/conservation.json
     python -m repro list
 """
 
@@ -125,6 +129,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--validate-only",
         action="store_true",
         help="schema-check every record and report the count; no timeline",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="run a seeded invariant-checking fuzz campaign"
+    )
+    fuzz_p.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of generated scenarios (seeds base..base+N-1)",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (shared-nothing seed shards)",
+    )
+    fuzz_p.add_argument("--base-seed", type=int, default=0)
+    fuzz_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the merged campaign report as JSON",
+    )
+    fuzz_p.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="shrink failing scenarios and write one replayable repro "
+        "artifact per violated invariant class",
+    )
+    fuzz_p.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a repro artifact instead of running a campaign",
     )
 
     sub.add_parser("list", help="list queries, variants, dynamics, figures")
@@ -341,6 +371,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import (
+        generate_scenario,
+        load_artifact,
+        run_campaign,
+        run_scenario,
+        shrink_scenario,
+        write_artifact,
+    )
+
+    if args.replay:
+        spec, payload = load_artifact(args.replay)
+        print(
+            f"replaying {args.replay}: seed={spec.seed} "
+            f"pinned-invariant={payload.get('invariant')}"
+        )
+        result = run_scenario(spec)
+        print(f"  digest: {result.digest}")
+        print(f"  ticks : {result.ticks}")
+        if result.ok:
+            print("  violations: none")
+            return 0
+        for v in result.violations:
+            print(f"  t={v.t_s:8.1f}s {v.invariant:18s} {v.detail}")
+        return 1
+
+    report = run_campaign(
+        args.seeds, base_seed=args.base_seed, jobs=args.jobs
+    )
+    print(
+        f"campaign: {args.seeds} seeds (base {args.base_seed}), "
+        f"{args.jobs} job(s)"
+    )
+    print(f"  ticks checked : {sum(r.ticks for r in report.results)}")
+    totals = report.totals()
+    print("  checks exercised:")
+    for invariant, count in report.checks().items():
+        print(f"    {invariant:20s} {count}")
+    print(f"  failing seeds : {len(report.failing)}/{args.seeds}")
+    for invariant, count in totals.items():
+        print(f"    {invariant:20s} {count}")
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+        print(f"  report -> {args.out}")
+    if args.artifact_dir and report.failing:
+        outdir = Path(args.artifact_dir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        pinned: set[str] = set()
+        for result in report.failing:
+            for invariant in result.invariants_hit():
+                if invariant in pinned:
+                    continue
+                pinned.add(invariant)
+                shrunk, violations = shrink_scenario(
+                    generate_scenario(result.seed), invariant
+                )
+                path = outdir / f"{invariant}-seed{result.seed}.json"
+                write_artifact(path, shrunk, violations, invariant=invariant)
+                print(f"  repro -> {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     del args
     print("queries  :", ", ".join(QUERIES))
@@ -359,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_figures(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "fuzz":
+            return cmd_fuzz(args)
         return cmd_list(args)
     except WaspError as exc:
         print(f"error: {exc}", file=sys.stderr)

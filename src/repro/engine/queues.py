@@ -307,6 +307,14 @@ class FluidQueue:
     def oldest_gen_time_s(self) -> float | None:
         return self._parcels[0].gen_time_s if self._parcels else None
 
+    def parcels(self) -> list[Parcel]:
+        """Read-only copy of the queued parcels, oldest first.
+
+        For inspection (invariant checkers, tests); never aliases the
+        internal storage, so callers cannot perturb COW sharing.
+        """
+        return [Parcel(p.count, p.gen_time_s) for p in self._parcels]
+
     def mean_age_s(self, now_s: float) -> float:
         """Average age of queued events (0 for an empty queue)."""
         if self._count <= 0:

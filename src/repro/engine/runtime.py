@@ -104,6 +104,13 @@ class TickReport:
     net_sent: dict[tuple[str, str, str, str], float] = field(default_factory=dict)
     #: per flow: network backlog at end of tick
     net_backlog: dict[tuple[str, str, str, str], float] = field(default_factory=dict)
+    #: per stage: events re-queued at the sender because a downstream stage
+    #: was transiently undeployed (they re-enter the sender's own queue)
+    requeued: dict[str, float] = field(default_factory=dict)
+    #: per stage: raw events dropped from its input/gen queues (SLO cutoff)
+    dropped_raw_input: dict[str, float] = field(default_factory=dict)
+    #: per destination stage: raw events dropped from in-flight net queues
+    dropped_raw_net: dict[str, float] = field(default_factory=dict)
 
     def mean_sink_delay_s(self) -> float:
         if self.sink_events <= 0:
@@ -362,6 +369,21 @@ class EngineRuntime:
             + sum(q.count for q in self._input_queue.values())
             + sum(q.count for q in self._net_queue.values())
         )
+
+    def iter_queues(self):
+        """Yield ``(table, key, queue)`` for every live queue.
+
+        ``table`` is ``"gen"``/``"input"`` (key ``(stage, site)``) or
+        ``"net"`` (key ``(src_stage, dst_stage, src_site, dst_site)``).
+        Read-only inspection surface for invariant checkers and tests; the
+        yielded queues must not be mutated.
+        """
+        for key in sorted(self._gen_queue):
+            yield "gen", key, self._gen_queue[key]
+        for key in sorted(self._input_queue):
+            yield "input", key, self._input_queue[key]
+        for key in sorted(self._net_queue):
+            yield "net", key, self._net_queue[key]
 
     # ------------------------------------------------------------------ #
     # Mutation API (used by the scheduler / reconfiguration manager)
@@ -694,6 +716,9 @@ class EngineRuntime:
                     report.dropped_source_equiv += self._to_source_equiv(
                         name, dropped
                     )
+                    report.dropped_raw_input[name] = (
+                        report.dropped_raw_input.get(name, 0.0) + dropped
+                    )
             if suspended or site_obj.failed:
                 capacity = 0.0
             else:
@@ -759,6 +784,9 @@ class EngineRuntime:
                 table = self._gen_queue if ex.is_source else self._input_queue
                 self._queue(table, (name, src_site)) \
                     .push_parcels(out_parcels)
+                report.requeued[name] = report.requeued.get(name, 0.0) + sum(
+                    p.count for p in out_parcels
+                )
                 continue
             for dst_site, fraction, in_key in down.shares:
                 if dst_site == src_site:
@@ -808,6 +836,9 @@ class EngineRuntime:
                 if dropped > 0:
                     report.dropped_source_equiv += self._to_source_equiv(
                         dst_stage, dropped
+                    )
+                    report.dropped_raw_net[dst_stage] = (
+                        report.dropped_raw_net.get(dst_stage, 0.0) + dropped
                     )
                 if not queue:
                     continue

@@ -236,6 +236,8 @@ class ExperimentRun:
         self._straggling_now: set[str] = set()
         self._fail_start_s: dict[str, float] = {}
         self._chaos: "ChaosInjector | None" = None
+        #: Optional invariant checker (repro.fuzz); see :meth:`attach_checker`.
+        self._checker = None
         #: Source-equivalents re-queued by checkpoint-replay after failures
         #: (these events are legitimately processed twice).
         self.replayed_source_equiv = 0.0
@@ -278,6 +280,20 @@ class ExperimentRun:
         from ..obs.sinks import PrometheusTextfileSink
 
         return self.obs.attach(PrometheusTextfileSink(path))
+
+    def attach_checker(self, checker) -> None:
+        """Wire a :class:`~repro.fuzz.InvariantChecker` into this run.
+
+        The checker is attached to the event bus (it consumes the full
+        adaptation lifecycle) and additionally hooked into :meth:`step`:
+        ``on_report`` fires with every :class:`TickReport` after the
+        controller has observed it but *before* the periodic callbacks run,
+        and ``on_step_end`` fires once the tick (including any adaptation
+        round) has fully completed.
+        """
+        checker.bind(self)
+        self.obs.attach(checker)
+        self._checker = checker
 
     # ------------------------------------------------------------------ #
     # Chaos
@@ -483,7 +499,11 @@ class ExperimentRun:
         self.recorder.record_tick(sample)
         if self.manager is not None:
             self.manager.observe_tick(report)
+        if self._checker is not None:
+            self._checker.on_report(report)
         self.clock.advance()
+        if self._checker is not None:
+            self._checker.on_step_end()
         return sample
 
 

@@ -188,7 +188,10 @@ def per_site_capacity(
             / flow.event_bytes
         )
         limit = problem.alpha * bw_eps * p / flow.eps
-        cap = min(cap, math.floor(limit - eps_shave))
+        # A vanishing flow (or unbounded link) makes the quotient overflow
+        # to inf: the constraint simply does not bind.
+        if math.isfinite(limit):
+            cap = min(cap, math.floor(limit - eps_shave))
     for demand in problem.downstream:
         if demand.site == site:
             continue
@@ -201,7 +204,8 @@ def per_site_capacity(
             / demand.event_bytes
         )
         limit = problem.alpha * bw_eps * p / out_to_d
-        cap = min(cap, math.floor(limit - eps_shave))
+        if math.isfinite(limit):
+            cap = min(cap, math.floor(limit - eps_shave))
     return max(0, int(cap))
 
 

@@ -1,0 +1,79 @@
+"""Regenerate the pinned fuzz regression fixtures.
+
+Each fixture under ``tests/fuzz/fixtures/`` pins the smallest scenario
+(found by exercises-mode shrinking) that still *evaluates* one invariant
+class while staying violation-free.  ``test_regressions.py`` replays every
+fixture and asserts both properties, so a regression in either the engine
+or the checker's scoping trips the suite.
+
+Shipped code is violation-free, which is why the fixtures pin *exercised*
+rather than *violated* invariants; a campaign that does find a violation
+writes violates-mode repros via ``python -m repro fuzz --artifact-dir``
+and those should be pinned here too.
+
+Run from the repo root (takes a few minutes; not part of the test suite)::
+
+    PYTHONPATH=src python tests/fuzz/regen_fixtures.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.fuzz import generate_scenario, shrink_scenario, write_artifact
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+#: invariant class -> campaign seed known to exercise it (base seed 0).
+#: Per-tick invariants fire in every scenario; the commit-scoped ones need
+#: seeds whose runs commit the matching adaptation kinds.
+FIXTURE_SEEDS = {
+    "conservation": 1,
+    "queue-nonnegative": 1,
+    "state-nonnegative": 1,
+    "slot-feasibility": 1,
+    "full-deployment": 1,
+    "alpha-cap": 0,
+    "scale-law": 7,
+    "migration-arithmetic": 7,
+    "migration-minmax": 8,
+    "rollback-digest": 19,
+}
+
+
+def main() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    shrunk_cache: dict[int, object] = {}
+    for invariant, seed in FIXTURE_SEEDS.items():
+        per_tick = invariant in (
+            "conservation",
+            "queue-nonnegative",
+            "state-nonnegative",
+            "slot-feasibility",
+            "full-deployment",
+        )
+        # Per-tick invariants are exercised by any clean run, so one shrunk
+        # spec per seed serves them all.
+        cache_key = seed if per_tick else None
+        if cache_key is not None and cache_key in shrunk_cache:
+            spec = shrunk_cache[cache_key]
+        else:
+            print(f"shrinking seed {seed} for {invariant} ...", flush=True)
+            spec, _ = shrink_scenario(
+                generate_scenario(seed),
+                invariant if not per_tick else "conservation",
+                mode="exercises",
+                max_evals=12,
+            )
+            if cache_key is not None:
+                shrunk_cache[cache_key] = spec
+        path = write_artifact(
+            FIXTURE_DIR / f"{invariant}.json", spec, [], invariant=invariant
+        )
+        print(f"  -> {path}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,8 @@
 """Tests for the python -m repro command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
@@ -76,3 +79,34 @@ class TestFigures:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figures", "fig99"])
+
+
+class TestFuzz:
+    def test_campaign_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        code = main(["fuzz", "--seeds", "2", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 seeds" in out
+        assert "failing seeds : 0/2" in out
+        assert "checks exercised:" in out
+        assert "conservation" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "wasp-fuzz-campaign/v1"
+        assert report["num_failing"] == 0
+
+    def test_replay_pinned_fixture(self, capsys):
+        fixture = (
+            Path(__file__).parent / "fuzz" / "fixtures" / "conservation.json"
+        )
+        code = main(["fuzz", "--replay", str(fixture)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pinned-invariant=conservation" in out
+        assert "violations: none" in out
+
+    def test_replay_rejects_non_artifact(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "other/v1"}')
+        assert main(["fuzz", "--replay", str(bogus)]) == 2
+        assert "not a wasp-fuzz-repro/v1" in capsys.readouterr().err
