@@ -71,7 +71,45 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="prior emission to compare against (its numbers are kept)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "regression check: run fresh, compare per-benchmark rates "
+            "against the committed BENCH_engine.json (or --baseline) and "
+            "exit 1 on any >20%% rate regression"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        baseline_path = args.baseline or Path("BENCH_engine.json")
+        baseline = _load_baseline(baseline_path)
+        if baseline is None:
+            print(f"error: no usable baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        results = run_all(args.mode)
+        print(f"perf check vs {baseline_path} (mode={args.mode})")
+        regressions = []
+        for res in results:
+            base = baseline["results"].get(res.name)
+            if not base or not base.get("rate_per_s"):
+                print(f"  {res.name:16s} {res.rate_per_s:12.1f} {res.unit:12s} (no baseline)")
+                continue
+            delta = res.rate_per_s / base["rate_per_s"] - 1.0
+            flag = ""
+            if delta < -0.20:
+                flag = "  << REGRESSION"
+                regressions.append(res.name)
+            print(
+                f"  {res.name:16s} {res.rate_per_s:12.1f} {res.unit:12s} "
+                f"baseline {base['rate_per_s']:12.1f}  {delta:+7.1%}{flag}"
+            )
+        if regressions:
+            print(f"\n{len(regressions)} regression(s): {', '.join(regressions)}")
+            return 1
+        print("\nno rate regressions beyond 20%")
+        return 0
 
     results = run_all(args.mode)
     current = {

@@ -82,6 +82,52 @@ def bench_queue_ops(ops: int = 200_000) -> BenchResult:
     )
 
 
+def bench_queue_fused_ops(rounds: int = 20_000) -> BenchResult:
+    """The fused/batched FluidQueue ops the transfer path leans on.
+
+    Each round mimics a WAN hop: a donor queue pops a burst, the receiver
+    absorbs it via ``push_aged`` (latency crossing) and ``push_scaled``
+    (selectivity), then periodic SLO maintenance (``drop_oldest`` /
+    ``drop_older_than``) and snapshot pressure (``clone_cow`` followed by
+    a mutation, so copy-on-write actually pays its materialization).
+    """
+    from repro.engine.queues import FluidQueue
+
+    donor = FluidQueue()
+    receiver = FluidQueue()
+    now = 0.0
+    for i in range(64):
+        now += 0.5
+        donor.push(200.0 + (i % 5), now)
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        now += 0.25
+        donor.push(120.0 + (i % 3), now)
+        burst = donor.pop(110.0)
+        receiver.push_aged(burst, 0.040)
+        receiver.push_scaled(burst, 0.5)
+        if i % 32 == 31:
+            receiver.drop_oldest(90.0)
+        if i % 128 == 127:
+            receiver.drop_older_than(now - 24.0)
+        if i % 256 == 255:
+            snap = receiver.clone_cow()
+            receiver.push(1.0, now)  # force the copy-on-write to pay
+            snap.drop_oldest(1.0)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="queue_fused_ops",
+        wall_s=wall,
+        rate_per_s=rounds / wall if wall > 0 else float("inf"),
+        unit="rounds/s",
+        detail={
+            "rounds": float(rounds),
+            "residual_donor": donor.count,
+            "residual_receiver": receiver.count,
+        },
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Single tick (engine only, no controller)
 # --------------------------------------------------------------------------- #
@@ -235,24 +281,25 @@ def bench_snapshot(rounds: int = 200, warm_ticks: int = 350) -> BenchResult:
 # Driver
 # --------------------------------------------------------------------------- #
 
-#: Work sizes per mode: (queue ops, single-tick ticks, scenario seconds,
-#: snapshot rounds).
+#: Work sizes per mode: (queue ops, fused-op rounds, single-tick ticks,
+#: scenario seconds, snapshot rounds).
 MODES = {
-    "smoke": (20_000, 120, 120.0, 30),
-    "full": (200_000, 600, 600.0, 200),
+    "smoke": (20_000, 4_000, 120, 120.0, 30),
+    "full": (200_000, 40_000, 600, 600.0, 200),
 }
 
 
 def run_all(mode: str = "full") -> list[BenchResult]:
     """Run every benchmark at the given mode's work sizes."""
     try:
-        ops, ticks, duration_s, rounds = MODES[mode]
+        ops, fused_rounds, ticks, duration_s, rounds = MODES[mode]
     except KeyError:
         raise ValueError(
             f"unknown mode {mode!r}; choose from {sorted(MODES)}"
         ) from None
     return [
         bench_queue_ops(ops),
+        bench_queue_fused_ops(fused_rounds),
         bench_single_tick(ticks),
         bench_full_scenario(duration_s),
         bench_snapshot(rounds),

@@ -1,0 +1,272 @@
+"""Topology-scale benchmark sweep: reference vs dense engine backend.
+
+Builds an all-to-all shuffle world (one source per site fanning into a
+globally partitioned aggregation) at increasing site counts and measures
+steady-state ticks/s for both engine backends.  The shuffle regime is the
+honest scale case for a WAN stream processor: with ``n`` sites the world
+carries ``n * (n - 1)`` active flows, so per-flow work dominates and the
+dense backend's fused array kernels are exercised where they matter.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.scale --out BENCH_scale.json
+    PYTHONPATH=src python -m benchmarks.perf.scale --short   # CI sweep
+
+Everything is seeded: same sizes + seed produce the identical world, so
+results are comparable across commits (only wall time varies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import WaspConfig
+from repro.engine import operators as ops
+from repro.engine.dense import create_runtime
+from repro.engine.logical import LogicalPlan
+from repro.engine.physical import PhysicalPlan
+from repro.engine.runtime import WorkloadModel
+from repro.network.site import Site, SiteKind
+from repro.network.topology import Topology
+
+#: Seed shared by every sweep point (same worlds across commits).
+SCALE_SEED = 42
+
+#: Full sweep: site counts x aggregation parallelism per site.
+FULL_SIZES = (4, 16, 64, 128)
+FULL_PARALLELISM = (1, 2)
+
+#: Reduced sweep for CI smoke runs.
+SHORT_SIZES = (4, 16, 32)
+SHORT_PARALLELISM = (2,)
+
+#: Measured ticks per site count (smaller worlds need more ticks for a
+#: stable rate; big ones are slow enough that fewer suffice).
+_MEASURE_TICKS = {4: 200, 16: 150, 32: 120, 64: 120, 128: 60}
+_WARMUP_TICKS = 30
+_SHORT_MEASURE = 40
+_SHORT_WARMUP = 10
+
+
+class _ConstWorkload(WorkloadModel):
+    """Constant-rate sources; the sweep measures engine mechanics, not
+    workload dynamics."""
+
+    def __init__(self, rates: dict[str, float]) -> None:
+        self.rates = dict(rates)
+
+    def generation_eps(self, name: str, t_s: float) -> float:
+        return self.rates[name]
+
+    def base_rate_eps(self, name: str) -> float:
+        return self.rates[name]
+
+
+def build_world(
+    n_sites: int, parallelism: int, seed: int = SCALE_SEED
+) -> tuple[Topology, PhysicalPlan, WorkloadModel]:
+    """All-to-all shuffle world: one source per site, ``parallelism``
+    aggregation tasks on every site, a single sink.
+
+    Per-site source rate grows with ``n_sites`` so the aggregate keeps the
+    same per-task load at every size; link capacities and latencies are
+    drawn from a seeded RNG so the WAN is heterogeneous but reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"s{i:03d}" for i in range(n_sites)]
+    sites = [
+        Site(nm, SiteKind.DATA_CENTER, total_slots=64, proc_rate_eps=40_000.0)
+        for nm in names
+    ]
+    topo = Topology(sites)
+    for a in names:
+        for b in names:
+            if a != b:
+                topo.set_link(
+                    a,
+                    b,
+                    float(rng.uniform(1.0, 10.0)),
+                    float(rng.uniform(10.0, 100.0)),
+                )
+    srcs = []
+    rates: dict[str, float] = {}
+    for j, site in enumerate(names):
+        nm = f"src{j:03d}"
+        srcs.append((ops.source(nm, site, event_bytes=200, cost=0.1), site))
+        rates[nm] = 2500.0 * n_sites
+    agg = ops.window_aggregate(
+        "agg", window_s=10.0, selectivity=0.5, state_mb=64.0, cost=2.0
+    )
+    sink = ops.sink("sink")
+    edges = [(s.name, "agg") for s, _ in srcs] + [("agg", "sink")]
+    logical = LogicalPlan.from_edges(
+        "scale", [s for s, _ in srcs] + [agg, sink], edges
+    )
+    plan = PhysicalPlan(logical)
+    for spec, site in srcs:
+        plan.stage(spec.name).add_task(site)
+    for nm in names:
+        for _ in range(parallelism):
+            plan.stage("agg").add_task(nm)
+    plan.stage("sink").add_task(names[0])
+    return topo, plan, _ConstWorkload(rates)
+
+
+def run_point(
+    backend: str,
+    n_sites: int,
+    parallelism: int,
+    warmup: int,
+    measure: int,
+    seed: int = SCALE_SEED,
+) -> dict:
+    """Time ``measure`` steady-state ticks of one backend at one size."""
+    topo, plan, workload = build_world(n_sites, parallelism, seed)
+    config = WaspConfig.paper_defaults().with_overrides(engine_backend=backend)
+    runtime = create_runtime(topo, plan, workload, config)
+    for _ in range(warmup):
+        runtime.tick()
+    t0 = time.perf_counter()
+    for _ in range(measure):
+        runtime.tick()
+    wall = time.perf_counter() - t0
+    return {
+        "backend": backend,
+        "sites": n_sites,
+        "parallelism": parallelism,
+        "ticks": measure,
+        "wall_s": wall,
+        "ticks_per_s": measure / wall if wall > 0 else float("inf"),
+        # Sanity fingerprints: both backends must agree on these.
+        "total_backlog": float(runtime.total_backlog()),
+        "sink_events": float(runtime.last_report.sink_events),
+    }
+
+
+def run_sweep(
+    sizes: tuple[int, ...],
+    parallelisms: tuple[int, ...],
+    warmup: int,
+    measure_by_size: dict[int, int] | None,
+    seed: int = SCALE_SEED,
+    verbose: bool = True,
+) -> list[dict]:
+    points = []
+    for n in sizes:
+        measure = (
+            measure_by_size.get(n, _SHORT_MEASURE)
+            if measure_by_size
+            else _SHORT_MEASURE
+        )
+        for p in parallelisms:
+            pair = {}
+            for backend in ("reference", "dense"):
+                res = run_point(backend, n, p, warmup, measure, seed)
+                pair[backend] = res
+                points.append(res)
+                if verbose:
+                    print(
+                        f"  sites={n:4d} p={p} {backend:9s}: "
+                        f"{res['ticks_per_s']:9.1f} ticks/s "
+                        f"(backlog={res['total_backlog']:.3f})",
+                        file=sys.stderr,
+                    )
+            speedup = (
+                pair["dense"]["ticks_per_s"] / pair["reference"]["ticks_per_s"]
+            )
+            pair["dense"]["speedup_vs_reference"] = speedup
+            if verbose:
+                print(
+                    f"  sites={n:4d} p={p} speedup  : {speedup:.2f}x",
+                    file=sys.stderr,
+                )
+    return points
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:  # pragma: no cover - no git in exotic environments
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.scale",
+        description="topology-scale sweep: reference vs dense backend",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"site counts to sweep (default {list(FULL_SIZES)})",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"agg tasks per site (default {list(FULL_PARALLELISM)})",
+    )
+    parser.add_argument(
+        "--short",
+        action="store_true",
+        help="reduced CI sweep: sizes 4/16/32, fewer ticks",
+    )
+    parser.add_argument("--seed", type=int, default=SCALE_SEED)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report here (e.g. BENCH_scale.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.short:
+        sizes = tuple(args.sizes) if args.sizes else SHORT_SIZES
+        parallelisms = (
+            tuple(args.parallelism) if args.parallelism else SHORT_PARALLELISM
+        )
+        warmup, measure_by_size = _SHORT_WARMUP, None
+    else:
+        sizes = tuple(args.sizes) if args.sizes else FULL_SIZES
+        parallelisms = (
+            tuple(args.parallelism) if args.parallelism else FULL_PARALLELISM
+        )
+        warmup, measure_by_size = _WARMUP_TICKS, dict(_MEASURE_TICKS)
+
+    points = run_sweep(sizes, parallelisms, warmup, measure_by_size, args.seed)
+    report = {
+        "schema": "wasp-scale-bench/v1",
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seed": args.seed,
+        "short": bool(args.short),
+        "points": points,
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

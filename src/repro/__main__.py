@@ -93,9 +93,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--duration", type=float, default=900.0)
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument(
+        "--backend",
+        choices=("reference", "dense"),
+        default="reference",
+        help="engine backend: per-parcel reference loops or the "
+        "numpy structure-of-arrays kernel",
+    )
+    run_p.add_argument(
         "--profile",
         action="store_true",
         help="profile each variant with cProfile and print the hot spots",
+    )
+    run_p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="with --profile: also dump the raw pstats file for offline "
+        "analysis (per-variant suffix when several variants run)",
     )
     run_p.add_argument(
         "--trace-out",
@@ -114,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figures", help="regenerate a paper figure/table")
     fig_p.add_argument("which", choices=FIGURES)
     fig_p.add_argument("--seed", type=int, default=42)
+    fig_p.add_argument(
+        "--backend",
+        choices=("reference", "dense"),
+        default="reference",
+        help="engine backend for figures that run variants (fig8-fig12)",
+    )
     fig_p.add_argument(
         "--trace-out",
         default=None,
@@ -156,6 +176,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="FILE",
         help="replay a repro artifact instead of running a campaign",
     )
+    fuzz_p.add_argument(
+        "--backend",
+        choices=("reference", "dense"),
+        default=None,
+        help="force every scenario onto one engine backend (default: "
+        "each scenario's own configuration)",
+    )
 
     sub.add_parser("list", help="list queries, variants, dynamics, figures")
     return parser
@@ -174,7 +201,9 @@ def _resolve_variants(names: list[str] | None) -> list[VariantSpec]:
     return specs
 
 
-def _profiled_run(run: ExperimentRun, duration: float, dynamics):
+def _profiled_run(
+    run: ExperimentRun, duration: float, dynamics, profile_out: str | None = None
+):
     """Run under cProfile; print wall time, tick rate and top hot spots."""
     import cProfile
     import io
@@ -194,6 +223,9 @@ def _profiled_run(run: ExperimentRun, duration: float, dynamics):
     )
     out = io.StringIO()
     stats = pstats.Stats(profiler, stream=out)
+    if profile_out:
+        stats.dump_stats(profile_out)
+        print(f"  pstats -> {profile_out}")
     stats.sort_stats("cumulative").print_stats(15)
     # Skip pstats' preamble; indent the table under the variant header.
     lines = out.getvalue().splitlines()
@@ -218,17 +250,23 @@ def _variant_path(path: str, variant_name: str, multi: bool) -> str:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .config import WaspConfig
+
     variants = _resolve_variants(args.variant)
     multi = len(variants) > 1
+    config = WaspConfig.paper_defaults().with_overrides(
+        engine_backend=args.backend
+    )
     print(
         f"query={args.query} dynamics={args.dynamics} "
-        f"duration={args.duration:.0f}s seed={args.seed}"
+        f"duration={args.duration:.0f}s seed={args.seed} "
+        f"backend={args.backend}"
     )
     for variant in variants:
         rngs = RngRegistry(args.seed)
         topology = paper_testbed(rngs.stream("topology"))
         query = make_query_by_name(args.query)(topology, rngs)
-        run = ExperimentRun(topology, query, variant, rngs=rngs)
+        run = ExperimentRun(topology, query, variant, config=config, rngs=rngs)
         if args.trace_out:
             trace_path = _variant_path(args.trace_out, variant.name, multi)
             run.attach_trace(trace_path)
@@ -241,8 +279,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  metrics -> {metrics_path}")
         dynamics = DYNAMICS[args.dynamics](rngs)
         if args.profile:
-            recorder = _profiled_run(run, args.duration, dynamics)
+            profile_out = (
+                _variant_path(args.profile_out, variant.name, multi)
+                if args.profile_out
+                else None
+            )
+            recorder = _profiled_run(run, args.duration, dynamics, profile_out)
         else:
+            if args.profile_out:
+                print(
+                    "note: --profile-out ignored without --profile",
+                    file=sys.stderr,
+                )
             recorder = run.run(args.duration, dynamics)
         run.obs.close()
         print(f"\n--- {variant.name} ---")
@@ -263,7 +311,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figures_runs(which: str, seed: int, trace_out: str | None = None):
+def _figures_runs(
+    which: str,
+    seed: int,
+    trace_out: str | None = None,
+    backend: str = "reference",
+):
+    from .config import WaspConfig
     from .experiments.harness import run_variants
 
     if which in ("fig8", "fig9"):
@@ -285,6 +339,9 @@ def _figures_runs(which: str, seed: int, trace_out: str | None = None):
         list(scenario.variants),
         scenario.duration_s,
         scenario.make_dynamics,
+        config=WaspConfig.paper_defaults().with_overrides(
+            engine_backend=backend
+        ),
         seed=seed,
         instrument=instrument,
     )
@@ -293,6 +350,14 @@ def _figures_runs(which: str, seed: int, trace_out: str | None = None):
 def cmd_figures(args: argparse.Namespace) -> int:
     which, seed = args.which, args.seed
     trace_out = getattr(args, "trace_out", None)
+    backend = getattr(args, "backend", "reference")
+    if backend != "reference" and which not in (
+        "fig8", "fig9", "fig10", "fig11", "fig12"
+    ):
+        print(
+            f"note: --backend ignored for {which} (no variant runs)",
+            file=sys.stderr,
+        )
     if trace_out and which not in ("fig8", "fig9", "fig10", "fig11", "fig12"):
         print(
             f"note: --trace-out ignored for {which} (no variant runs)",
@@ -305,21 +370,21 @@ def cmd_figures(args: argparse.Namespace) -> int:
     elif which == "fig8":
         print(
             fig.fig8_report(
-                _figures_runs(which, seed, trace_out), "topk-topics"
+                _figures_runs(which, seed, trace_out, backend), "topk-topics"
             )
         )
     elif which == "fig9":
         print(
             fig.fig9_report(
-                _figures_runs(which, seed, trace_out), "topk-topics"
+                _figures_runs(which, seed, trace_out, backend), "topk-topics"
             )
         )
     elif which == "fig10":
-        print(fig.fig10_report(_figures_runs(which, seed, trace_out)))
+        print(fig.fig10_report(_figures_runs(which, seed, trace_out, backend)))
     elif which == "fig11":
-        print(fig.fig11_report(_figures_runs(which, seed, trace_out)))
+        print(fig.fig11_report(_figures_runs(which, seed, trace_out, backend)))
     elif which == "fig12":
-        print(fig.fig12_report(_figures_runs(which, seed, trace_out)))
+        print(fig.fig12_report(_figures_runs(which, seed, trace_out, backend)))
     elif which == "fig13":
         breakdowns = []
         for variant in migration_variants():
@@ -385,6 +450,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.replay:
         spec, payload = load_artifact(args.replay)
+        if args.backend:
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec,
+                config_overrides={
+                    **spec.config_overrides,
+                    "engine_backend": args.backend,
+                },
+            )
         print(
             f"replaying {args.replay}: seed={spec.seed} "
             f"pinned-invariant={payload.get('invariant')}"
@@ -400,11 +475,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1
 
     report = run_campaign(
-        args.seeds, base_seed=args.base_seed, jobs=args.jobs
+        args.seeds,
+        base_seed=args.base_seed,
+        jobs=args.jobs,
+        backend=args.backend,
     )
+    backend_note = f", backend={args.backend}" if args.backend else ""
     print(
         f"campaign: {args.seeds} seeds (base {args.base_seed}), "
-        f"{args.jobs} job(s)"
+        f"{args.jobs} job(s){backend_note}"
     )
     print(f"  ticks checked : {sum(r.ticks for r in report.results)}")
     totals = report.totals()

@@ -23,7 +23,7 @@ from ..core.controller import ReconfigurationManager
 from ..core.longterm import LongTermPlanner, OracleForecaster
 from ..core.replanning import Replanner
 from ..engine.checkpoint import CheckpointCoordinator
-from ..engine.runtime import EngineRuntime
+from ..engine.dense import create_runtime
 from ..engine.state import StateStore
 from ..errors import ConfigurationError, InfeasiblePlacementError
 from ..network.monitor import WanMonitor
@@ -161,7 +161,7 @@ class ExperimentRun:
                 )
         self._state_mb_override = dict(state_mb_override or {})
 
-        self.runtime = EngineRuntime(
+        self.runtime = create_runtime(
             topology,
             estimate.physical,
             query.workload,

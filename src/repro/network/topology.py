@@ -57,6 +57,9 @@ class Topology:
         #: the scripted dynamics apply a global factor on every tick.
         self._factors: dict[tuple[str, str], float] = {}
         self._global_factor = 1.0
+        #: Monotonic counter bumped whenever a factor actually changes, so
+        #: vectorized consumers can cache derived link tables.
+        self._factors_version = 0
 
     # ------------------------------------------------------------------ #
     # Sites
@@ -163,14 +166,18 @@ class Topology:
             raise TopologyError(f"bandwidth factor must be >= 0, got {factor}")
         if (src, dst) not in self._base_bandwidth:
             raise TopologyError(f"no link defined from {src!r} to {dst!r}")
-        self._factors[(src, dst)] = float(factor)
+        if self._factors.get((src, dst)) != float(factor):
+            self._factors[(src, dst)] = float(factor)
+            self._factors_version += 1
 
     def set_global_bandwidth_factor(self, factor: float) -> None:
         """Scale every link (Section 8.4 halves all links at t=900)."""
         if factor < 0:
             raise TopologyError(f"bandwidth factor must be >= 0, got {factor}")
-        self._factors.clear()
-        self._global_factor = float(factor)
+        if self._factors or self._global_factor != float(factor):
+            self._factors.clear()
+            self._global_factor = float(factor)
+            self._factors_version += 1
 
     def bandwidth_factor(self, src: str, dst: str) -> float:
         return self._factors.get((src, dst), self._global_factor)
